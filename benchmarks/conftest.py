@@ -1,0 +1,57 @@
+"""Benchmark harness configuration.
+
+Each benchmark file regenerates one table/figure of the paper (or one
+ablation from DESIGN.md).  Scenario runs are shared through a session-
+scoped :class:`ResultCache` — Figure 3b and 3c reuse the same concurrent
+runs, Figure 3a and 4 share their single-instance SnapBPF runs, exactly
+as the paper measures once and reports twice.
+
+Rendered outputs are written to ``results/*.txt`` so EXPERIMENTS.md can
+be checked against a fresh run.
+
+Environment knobs:
+  REPRO_BENCH_FUNCTIONS=json,bert   subset the 13 functions (quick runs)
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness.experiment import ResultCache
+from repro.workloads.profile import FUNCTIONS
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def selected_functions():
+    wanted = os.environ.get("REPRO_BENCH_FUNCTIONS")
+    if not wanted:
+        return list(FUNCTIONS)
+    names = {name.strip() for name in wanted.split(",")}
+    return [p for p in FUNCTIONS if p.name in names]
+
+
+@pytest.fixture(scope="session")
+def cache() -> ResultCache:
+    return ResultCache()
+
+
+@pytest.fixture(scope="session")
+def functions():
+    return selected_functions()
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write a rendered table to results/<name>.txt and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

@@ -1,0 +1,29 @@
+"""Table 1: mechanism comparison, regenerated from the implementations."""
+
+from repro.harness.figures import table_1
+from repro.harness.report import render_table1
+
+
+def test_table1(benchmark, record):
+    rows = benchmark.pedantic(table_1, rounds=1, iterations=1)
+    record("table1", render_table1(rows))
+
+    by_name = {row["approach"]: row for row in rows}
+    # The paper's Table 1, row by row.
+    assert by_name["reap"] == {
+        "approach": "reap", "mechanism": "userfaultfd",
+        "space": "User-space", "on_disk_ws_serialization": "Yes",
+        "in_memory_ws_dedup": "No", "stateless_alloc_filtering": "No",
+        "snapshot_prescan": "No"}
+    assert by_name["faast"]["stateless_alloc_filtering"] == "Yes"
+    assert by_name["faast"]["snapshot_prescan"] == "Yes"
+    assert by_name["faasnap"] == {
+        "approach": "faasnap", "mechanism": "mincore / mmap",
+        "space": "User-space", "on_disk_ws_serialization": "Yes",
+        "in_memory_ws_dedup": "Yes", "stateless_alloc_filtering": "Yes",
+        "snapshot_prescan": "Yes"}
+    assert by_name["snapbpf"] == {
+        "approach": "snapbpf", "mechanism": "eBPF",
+        "space": "Kernel-space", "on_disk_ws_serialization": "No",
+        "in_memory_ws_dedup": "Yes", "stateless_alloc_filtering": "Yes",
+        "snapshot_prescan": "No"}

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: restore one serverless function with SnapBPF and compare
+it against REAP — the paper's Figure 3a, in one script.
+
+Run:
+    python examples/quickstart.py [function]
+
+The function defaults to ``rnn``; any of the 13 evaluated functions
+works (``json``, ``chameleon``, ``matmul``, ``pyaes``, ``image``,
+``compression``, ``video``, ``recognition``, ``pagerank``, ``rnn``,
+``html``, ``bfs``, ``bert``).
+"""
+
+import sys
+
+from repro import MIB, profile_by_name, run_scenario
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "rnn"
+    profile = profile_by_name(name)
+    print(f"Function {profile.name!r}: {profile.mem_bytes // MIB} MiB VM, "
+          f"{profile.ws_bytes // MIB} MiB working set, "
+          f"{profile.alloc_bytes // MIB} MiB ephemeral allocations\n")
+
+    for approach in ("linux-nora", "linux-ra", "reap", "faasnap",
+                     "snapbpf"):
+        result = run_scenario(profile, approach, n_instances=1)
+        invocation = result.invocations[0]
+        print(f"{approach:12s} E2E {result.mean_e2e * 1e3:8.1f} ms | "
+              f"read {result.device_bytes_read / MIB:7.1f} MiB in "
+              f"{result.device_requests:5d} requests | "
+              f"peak mem {result.peak_memory_bytes / MIB:7.1f} MiB | "
+              f"{invocation.nested_faults:6d} nested faults")
+
+    snapbpf = run_scenario(profile, "snapbpf")
+    print(f"\nSnapBPF stored {snapbpf.extra['metadata_bytes']:.0f} bytes of "
+          f"offset metadata instead of a "
+          f"{profile.ws_bytes // MIB} MiB working-set file, and loaded it "
+          f"into the kernel in "
+          f"{snapbpf.extra['map_load_seconds'] * 1e3:.2f} ms.")
+
+
+if __name__ == "__main__":
+    main()

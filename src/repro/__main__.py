@@ -1,0 +1,106 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+  list                         the 13 evaluated functions and 7 approaches
+  run FN APPROACH [-n N]       one scenario, printed as a one-line report
+  table1                       regenerate the paper's Table 1
+  fig {3a,3b,3c,4,overheads}   regenerate one figure (optionally subset
+                               functions with --functions json,bert)
+
+Examples:
+  python -m repro run bert snapbpf -n 10
+  python -m repro fig 3c --functions bfs,bert
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import GIB, MIB, FUNCTIONS, approach_registry, profile_by_name, run_scenario
+from repro.harness import figures as F
+from repro.harness.experiment import ResultCache
+from repro.harness.report import render_figure, render_table1
+
+
+def cmd_list(_args) -> int:
+    print("functions:")
+    for profile in FUNCTIONS:
+        print(f"  {profile.name:12s} mem {profile.mem_bytes // MIB:5d} MiB  "
+              f"ws {profile.ws_bytes // MIB:4d} MiB  "
+              f"alloc {profile.alloc_bytes // MIB:4d} MiB  "
+              f"compute {profile.compute_seconds * 1e3:5.0f} ms")
+    print("approaches:")
+    for name in sorted(approach_registry()):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    try:
+        profile = profile_by_name(args.function)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    result = run_scenario(profile, args.approach, n_instances=args.instances,
+                          vary_inputs=args.vary_inputs,
+                          device_kind=args.device)
+    print(f"{profile.name}/{args.approach} x{args.instances} "
+          f"[{args.device}]:")
+    print(f"  mean E2E      {result.mean_e2e * 1e3:10.1f} ms "
+          f"(max {result.max_e2e * 1e3:.1f} ms)")
+    print(f"  peak memory   {result.peak_memory_bytes / GIB:10.2f} GiB")
+    print(f"  device reads  {result.device_bytes_read / MIB:10.1f} MiB in "
+          f"{result.device_requests} requests")
+    for key, value in sorted(result.extra.items()):
+        print(f"  {key:13s} {value:10.4g}")
+    return 0
+
+
+def cmd_table1(_args) -> int:
+    print(render_table1(F.table_1()))
+    return 0
+
+
+def cmd_fig(args) -> int:
+    functions = args.functions.split(",") if args.functions else None
+    cache = ResultCache()
+    builder = {"3a": F.figure_3a, "3b": F.figure_3b, "3c": F.figure_3c,
+               "4": F.figure_4, "overheads": F.overheads}[args.figure]
+    print(render_figure(builder(cache, functions=functions)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SnapBPF reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list functions and approaches")
+
+    run_parser = sub.add_parser("run", help="run one scenario")
+    run_parser.add_argument("function")
+    run_parser.add_argument("approach",
+                            choices=sorted(approach_registry()))
+    run_parser.add_argument("-n", "--instances", type=int, default=1)
+    run_parser.add_argument("--device", choices=("ssd", "hdd"),
+                            default="ssd")
+    run_parser.add_argument("--vary-inputs", action="store_true",
+                            help="give each instance a different input")
+
+    sub.add_parser("table1", help="regenerate Table 1")
+
+    fig_parser = sub.add_parser("fig", help="regenerate a figure")
+    fig_parser.add_argument("figure",
+                            choices=("3a", "3b", "3c", "4", "overheads"))
+    fig_parser.add_argument("--functions", default="",
+                            help="comma-separated subset of functions")
+
+    args = parser.parse_args(argv)
+    handler = {"list": cmd_list, "run": cmd_run, "table1": cmd_table1,
+               "fig": cmd_fig}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

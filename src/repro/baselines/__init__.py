@@ -1,0 +1,34 @@
+"""State-of-the-art prefetching approaches the paper compares against.
+
+Each approach is an :class:`~repro.baselines.base.Approach`: it owns the
+record phase (how the working set is captured), the restore path (how a
+sandbox's guest memory is mapped), and any prefetch/fault-handling
+processes.  Class attributes carry the Table 1 feature matrix.
+
+* :mod:`repro.baselines.linux` — vanilla firecracker restore: demand
+  paging with Linux readahead disabled (Linux-NoRA) or default (Linux-RA).
+* :mod:`repro.baselines.reap` — REAP: userfaultfd capture, working set
+  serialized to a separate file, direct-I/O prefetch, uffd installs.
+* :mod:`repro.baselines.faast` — Faast: REAP plus allocator-metadata
+  pre-scan routing faults on free guest pages to anonymous memory.
+* :mod:`repro.baselines.faasnap` — FaaSnap: mincore capture, coalesced
+  per-region working-set file mmaps, userspace buffered-read prefetch,
+  zero-page scan for allocation filtering.
+"""
+
+from repro.baselines.base import Approach, register_approach, approach_registry
+from repro.baselines.faasnap import FaaSnap
+from repro.baselines.faast import Faast
+from repro.baselines.linux import LinuxNoRA, LinuxRA
+from repro.baselines.reap import REAP
+
+__all__ = [
+    "Approach",
+    "FaaSnap",
+    "Faast",
+    "LinuxNoRA",
+    "LinuxRA",
+    "REAP",
+    "approach_registry",
+    "register_approach",
+]

@@ -1,0 +1,103 @@
+"""Approach interface: prepare (record phase) + spawn (restore path).
+
+An approach instance is bound to one host kernel and one function.  The
+experiment harness drives it as::
+
+    approach = REAP(kernel)
+    yield from approach.prepare(profile, record_trace)   # offline record
+    # ... drop caches, reset stats ...
+    vm = yield from approach.spawn(profile)              # timed restore
+    stats = yield from vm.invoke(trace)                  # timed invocation
+    approach.post_invoke(vm)
+
+Class attributes encode the Table 1 comparison row so the table can be
+regenerated from the implementations themselves.
+"""
+
+from __future__ import annotations
+
+from repro.mm.kernel import Kernel
+from repro.vmm.microvm import MicroVM
+from repro.vmm.snapshot import FunctionSnapshot, build_snapshot
+from repro.workloads.profile import FunctionProfile
+
+
+class Approach:
+    """Base class; subclasses implement the hooks below."""
+
+    #: Human-readable mechanism (Table 1 column 1).
+    mechanism: str = "?"
+    #: Runs in user space or kernel space.
+    kernel_space: bool = False
+    #: Serializes the working set as a separate file on disk.
+    serializes_ws_on_disk: bool = False
+    #: Deduplicates working sets across sandboxes in memory.
+    in_memory_dedup: bool = False
+    #: Filters stateless VM allocations away from snapshot I/O.
+    stateless_alloc_filtering: bool = False
+    #: Needs preemptive snapshot scanning / pre-processing.
+    requires_snapshot_prescan: bool = False
+
+    #: Display name (subclass must set).
+    name: str = "approach"
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.snapshot: FunctionSnapshot | None = None
+        self.prepared = False
+
+    # -- hooks --------------------------------------------------------------------
+    def prepare(self, profile: FunctionProfile, record_trace):
+        """Generator: record phase.  Default: just build the snapshot."""
+        self.snapshot = build_snapshot(self.kernel, profile,
+                                       suffix=f".{self.name}")
+        self.prepared = True
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    def spawn(self, profile: FunctionProfile,
+              vm_id: str | None = None):
+        """Generator: restore one sandbox; returns a ready MicroVM."""
+        raise NotImplementedError
+
+    def post_invoke(self, vm: MicroVM) -> None:
+        """Per-invocation cleanup that should NOT count toward E2E."""
+
+    # -- shared helpers -----------------------------------------------------------
+    def _require_prepared(self) -> FunctionSnapshot:
+        if not self.prepared or self.snapshot is None:
+            raise RuntimeError(f"{self.name}: prepare() has not run")
+        return self.snapshot
+
+    def _run_record_vm(self, vm: MicroVM, record_trace):
+        """Generator: drive the record invocation and tear the VM down."""
+        yield from vm.invoke(record_trace)
+        vm.teardown()
+
+    @classmethod
+    def table1_row(cls) -> dict[str, str]:
+        """This approach's row of the paper's Table 1."""
+        def mark(flag: bool) -> str:
+            return "Yes" if flag else "No"
+        return {
+            "approach": cls.name,
+            "mechanism": cls.mechanism,
+            "space": "Kernel-space" if cls.kernel_space else "User-space",
+            "on_disk_ws_serialization": mark(cls.serializes_ws_on_disk),
+            "in_memory_ws_dedup": mark(cls.in_memory_dedup),
+            "stateless_alloc_filtering": mark(cls.stateless_alloc_filtering),
+            "snapshot_prescan": mark(cls.requires_snapshot_prescan),
+        }
+
+
+_REGISTRY: dict[str, type[Approach]] = {}
+
+
+def register_approach(cls: type[Approach]) -> type[Approach]:
+    """Class decorator: add to the global approach registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def approach_registry() -> dict[str, type[Approach]]:
+    return dict(_REGISTRY)

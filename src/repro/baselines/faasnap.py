@@ -1,0 +1,261 @@
+"""FaaSnap (EuroSys '22): mincore capture + coalesced WS-file mmaps.
+
+Record phase: the sandbox's guest memory is a plain private mmap of the
+snapshot (readahead disabled); after the invocation, ``mincore()`` over
+the mapping reveals which pages were fetched.  Those pages — minus the
+zero pages left by FaaSnap's zero-on-free guest patch — form the working
+set, which is serialized to a separate file.  To keep the number of
+mmap'ed regions manageable, runs separated by small gaps are *coalesced*
+into larger regions, inflating the WS file with non-working-set pages
+(the I/O amplification the paper verifies with eBPF instrumentation;
+ablation A2 sweeps the gap threshold).
+
+Invocation phase: guest memory is a patchwork of mappings — WS regions
+from the WS file, snapshot-zero ranges as anonymous memory (allocation
+filtering), the remainder from the snapshot.  A userspace thread warms
+the page cache by buffered-reading the WS file; because faults then map
+the *cache* pages, concurrent sandboxes share them (in-memory dedup =
+Yes), but every prefetched byte is also redundantly copied to userspace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import Approach, register_approach
+from repro.units import DEFAULT_READAHEAD_PAGES, PAGE_SIZE
+from repro.vmm.microvm import GUEST_BASE_VPN, MicroVM
+from repro.vmm.snapshot import build_snapshot
+from repro.workloads.profile import FunctionProfile
+from repro.workloads.trace import working_set_pages
+
+#: Gap (in pages) below which adjacent WS runs are merged into one region.
+DEFAULT_GAP_THRESHOLD = 16
+#: Buffered-read streaming granularity of the prefetch threads (512 KiB).
+PREFETCH_CHUNK_PAGES = 128
+#: FaaSnap loads working-set regions with multiple concurrent userspace
+#: threads (its concurrent-loading optimization).
+PREFETCH_THREADS = 8
+
+
+@dataclass(frozen=True)
+class WsRegion:
+    """One coalesced working-set region."""
+
+    guest_start: int   # first guest page of the region
+    length: int        # pages, including coalesced gap pages
+    ws_offset: int     # page offset inside the WS file
+
+
+def coalesce(pages: list[int], gap_threshold: int) -> list[tuple[int, int]]:
+    """Merge sorted page indices into (start, length) regions, bridging
+    gaps of up to ``gap_threshold`` non-WS pages."""
+    if gap_threshold < 0:
+        raise ValueError("gap threshold must be >= 0")
+    regions: list[tuple[int, int]] = []
+    for page in sorted(pages):
+        if regions:
+            start, length = regions[-1]
+            if page < start + length:
+                continue  # duplicate
+            if page - (start + length) <= gap_threshold:
+                regions[-1] = (start, page - start + 1)
+                continue
+        regions.append((page, 1))
+    return regions
+
+
+def _subtract(ranges: list[tuple[int, int]],
+              holes: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Remove ``holes`` intervals from ``ranges`` (both (start, length))."""
+    result: list[tuple[int, int]] = []
+    holes = sorted(holes)
+    for start, length in sorted(ranges):
+        end = start + length
+        cursor = start
+        for h_start, h_length in holes:
+            h_end = h_start + h_length
+            if h_end <= cursor or h_start >= end:
+                continue
+            if h_start > cursor:
+                result.append((cursor, h_start - cursor))
+            cursor = max(cursor, h_end)
+            if cursor >= end:
+                break
+        if cursor < end:
+            result.append((cursor, end - cursor))
+    return result
+
+
+@register_approach
+class FaaSnap(Approach):
+    """mincore/mmap-based snapshot prefetching."""
+
+    name = "faasnap"
+    mechanism = "mincore / mmap"
+    kernel_space = False
+    serializes_ws_on_disk = True
+    in_memory_dedup = True
+    stateless_alloc_filtering = True
+    requires_snapshot_prescan = True
+
+    def __init__(self, kernel, gap_threshold: int = DEFAULT_GAP_THRESHOLD):
+        super().__init__(kernel)
+        self.gap_threshold = gap_threshold
+        self._regions: list[WsRegion] = []
+        self._zero_ranges: list[tuple[int, int]] = []
+        self._ws_file = None
+        self.ws_pages_exact = 0
+
+    # -- record phase ------------------------------------------------------------------
+    def prepare(self, profile: FunctionProfile, record_trace):
+        env = self.kernel.env
+        costs = self.kernel.costs
+        # FaaSnap's guest kernel zeroes pages on free, so free memory is
+        # visible in the snapshot contents.
+        self.snapshot = build_snapshot(self.kernel, profile,
+                                       zero_free_pages=True,
+                                       suffix=f".{self.name}")
+        vm = MicroVM(self.kernel, self.snapshot,
+                     vm_id=f"record-{self.name}-{profile.name}")
+        vm.space.mmap(self.snapshot.mem_pages, file=self.snapshot.file,
+                      at=GUEST_BASE_VPN, ra_pages=0, name="guest-mem")
+        record_vma = vm.space.vmas[0]
+        yield from vm.vcpu.run_trace(record_trace)
+
+        # mincore() over the mapping: which pages did we fetch?
+        residency = vm.space.mincore(record_vma)
+        yield env.timeout(len(residency) * costs.mincore_per_page)
+        vm.teardown()
+
+        zero_pages = set(self.snapshot.file.zero_pages())
+        ws_pages = [idx for idx, resident in enumerate(residency)
+                    if resident and idx not in zero_pages]
+        self.ws_pages_exact = len(ws_pages)
+
+        # Coalesce into regions and serialize them (gap pages included —
+        # this is the WS-file inflation).  FaaSnap also records the fault
+        # order during record and loads regions in (approximate) access
+        # order — without it, spatially-ordered loading would stall the
+        # vCPU behind pages it needs late.
+        raw_regions = coalesce(ws_pages, self.gap_threshold)
+        first_touch = {page: rank for rank, page
+                       in enumerate(working_set_pages(record_trace))}
+        raw_regions.sort(key=lambda region: min(
+            (first_touch.get(p, 1 << 60)
+             for p in range(region[0], region[0] + region[1]))))
+        total = sum(length for _s, length in raw_regions)
+        self._ws_file = self.kernel.filestore.create(
+            f"{profile.name}.{self.name}.ws", max(1, total) * PAGE_SIZE)
+        regions: list[WsRegion] = []
+        ws_off = 0
+        for start, length in raw_regions:
+            for i in range(length):
+                self._ws_file.set_content(
+                    ws_off + i, self.snapshot.file.content(start + i))
+            regions.append(WsRegion(guest_start=start, length=length,
+                                    ws_offset=ws_off))
+            ws_off += length
+        self._regions = regions
+
+        # Zero-page scan: contiguous snapshot-zero ranges become
+        # anonymous mappings at restore (allocation filtering).  Zero
+        # pages swallowed into a coalesced WS region are served from the
+        # WS file instead (they are part of the inflation).
+        self._zero_ranges = _subtract(
+            coalesce(sorted(zero_pages), 0),
+            [(r.guest_start, r.length) for r in regions])
+        self.prepared = True
+
+    # -- invocation phase -----------------------------------------------------------------
+    def spawn(self, profile: FunctionProfile, vm_id: str | None = None):
+        snapshot = self._require_prepared()
+        env = self.kernel.env
+        costs = self.kernel.costs
+        start = env.now
+        vm = MicroVM(self.kernel, snapshot, vm_id=vm_id)
+        vm._spawn_time = start
+        n_vmas = self._build_mappings(vm)
+        setup = n_vmas * costs.mmap_region
+        vm.setup_seconds = setup
+        yield env.timeout(setup)
+        for thread in range(PREFETCH_THREADS):
+            env.process(self._prefetcher(vm, thread),
+                        name=f"{self.name}-prefetch{thread}-{vm.vm_id}")
+        return vm
+
+    def _build_mappings(self, vm: MicroVM) -> int:
+        """Create the patchwork of guest-memory mappings; returns VMA count."""
+        snapshot = self.snapshot
+        boundaries: list[tuple[int, int, str, object, int]] = []
+        for region in self._regions:
+            boundaries.append((region.guest_start, region.length, "ws",
+                               self._ws_file, region.ws_offset))
+        for start, length in self._zero_ranges:
+            boundaries.append((start, length, "anon", None, 0))
+        boundaries.sort()
+
+        count = 0
+        cursor = 0
+        for start, length, kind, file, pgoff in boundaries:
+            if start > cursor:
+                vm.space.mmap(start - cursor, file=snapshot.file,
+                              pgoff=cursor, at=GUEST_BASE_VPN + cursor,
+                              ra_pages=DEFAULT_READAHEAD_PAGES,
+                              name="snap")
+                count += 1
+            if kind == "ws":
+                vm.space.mmap(length, file=file, pgoff=pgoff,
+                              at=GUEST_BASE_VPN + start,
+                              ra_pages=DEFAULT_READAHEAD_PAGES, name="ws")
+            else:
+                vm.space.mmap(length, at=GUEST_BASE_VPN + start, name="zero")
+            count += 1
+            cursor = start + length
+        if cursor < snapshot.mem_pages:
+            vm.space.mmap(snapshot.mem_pages - cursor, file=snapshot.file,
+                          pgoff=cursor, at=GUEST_BASE_VPN + cursor,
+                          ra_pages=DEFAULT_READAHEAD_PAGES, name="snap")
+            count += 1
+        return count
+
+    def _prefetcher(self, vm: MicroVM, thread: int):
+        """One userspace prefetch thread: buffered reads over its share
+        of the WS regions (round-robin split across PREFETCH_THREADS).
+
+        The reads warm the shared page cache (that is the prefetch); the
+        copy into the thread's buffer is pure overhead, charged per page.
+        """
+        if self._ws_file is None or not self._regions:
+            return
+        env = self.kernel.env
+        costs = self.kernel.costs
+        cache = self.kernel.page_cache
+        for region in self._regions[thread::PREFETCH_THREADS]:
+            pos = region.ws_offset
+            end = region.ws_offset + region.length
+            while pos < end:
+                if vm.space.dead:
+                    return  # sandbox torn down mid-prefetch
+                count = min(PREFETCH_CHUNK_PAGES, end - pos)
+                fill_cost = yield from cache.read_range(self._ws_file, pos,
+                                                        count)
+                yield env.timeout(fill_cost + costs.syscall
+                                  + count * costs.memcpy_page)
+                pos += count
+
+    # -- info -------------------------------------------------------------------------------
+    @property
+    def ws_file_pages(self) -> int:
+        return self._ws_file.size_pages if self._ws_file else 0
+
+    @property
+    def inflation_ratio(self) -> float:
+        """WS-file pages / exact WS pages (the coalescing amplification)."""
+        if not self.ws_pages_exact:
+            return 1.0
+        return self.ws_file_pages / self.ws_pages_exact
+
+    @property
+    def region_count(self) -> int:
+        return len(self._regions)

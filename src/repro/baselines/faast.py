@@ -1,0 +1,61 @@
+"""Faast (HPDC '24): REAP-style uffd prefetching + allocator-metadata
+pre-scan.
+
+Faast's addition over REAP (§2.2): before invocations it scans the
+snapshot's guest allocator metadata to learn which guest pages were free,
+and routes faults for those pages to anonymous memory instead of
+fetching soon-to-be-overwritten bytes from the snapshot.  That keeps the
+serialized working set lean (allocation faults are not recorded) and
+kills the wasted snapshot I/O for ephemeral allocations — at the price of
+requiring snapshot pre-processing (Table 1), which SnapBPF's online PV
+marking avoids.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import register_approach
+from repro.baselines.reap import REAP
+from repro.workloads.profile import FunctionProfile
+
+
+@register_approach
+class Faast(REAP):
+    """REAP + stateless-allocation filtering via allocator metadata."""
+
+    name = "faast"
+    mechanism = "userfaultfd"
+    serializes_ws_on_disk = True
+    in_memory_dedup = False
+    stateless_alloc_filtering = True
+    requires_snapshot_prescan = True
+
+    def __init__(self, kernel):
+        super().__init__(kernel)
+        self.filtered_faults = 0
+
+    def _record_fetch(self, gfn: int):
+        if self._free_or_scan(gfn):
+            return 0, 0.0  # anonymous zero page, no snapshot I/O
+        content, cost = yield from super()._record_fetch(gfn)
+        return content, cost
+
+    def _record_keep(self, gfn: int) -> bool:
+        # Allocation faults never enter the serialized working set.
+        return not self._free_or_scan(gfn)
+
+    def _demand_fetch(self, gfn: int):
+        if self._free_or_scan(gfn):
+            self.filtered_faults += 1
+            return 0, 0.0
+        content, cost = yield from super()._demand_fetch(gfn)
+        return content, cost
+
+    def _free_or_scan(self, gfn: int) -> bool:
+        """The pre-scan result: was this guest page free at snapshot time?
+
+        Our snapshot metadata *is* the guest allocator metadata Faast
+        parses (see repro.vmm.snapshot.SnapshotMetadata), so the scan is
+        a range lookup.
+        """
+        assert self.snapshot is not None
+        return gfn in self.snapshot.meta.free_gfns

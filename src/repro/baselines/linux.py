@@ -1,0 +1,61 @@
+"""Vanilla firecracker restore: mmap the snapshot, demand-page it.
+
+No working-set capture at all — the Figure 3b/3c baselines.  The only
+knob is Linux readahead on the snapshot mapping: disabled (Linux-NoRA,
+one synchronous 4 KiB read per major fault) or the kernel default 128 KiB
+window (Linux-RA).  Because faults resolve through the page cache, these
+baselines *do* deduplicate across sandboxes — they are just slow, paying
+a blocking fault chain for the whole working set.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Approach, register_approach
+from repro.units import DEFAULT_READAHEAD_PAGES
+from repro.vmm.microvm import GUEST_BASE_VPN, MicroVM
+from repro.workloads.profile import FunctionProfile
+
+
+class _LinuxBase(Approach):
+    """Shared restore path; subclasses pick the readahead window."""
+
+    mechanism = "mmap / demand paging"
+    serializes_ws_on_disk = False
+    in_memory_dedup = True
+    stateless_alloc_filtering = False
+    requires_snapshot_prescan = False
+
+    ra_pages: int = DEFAULT_READAHEAD_PAGES
+    #: PV PTE marking off for the vanilla baselines (overridden by the
+    #: SnapBPF breakdown variant in repro.core).
+    pv_marking: bool = False
+
+    def spawn(self, profile: FunctionProfile, vm_id: str | None = None):
+        snapshot = self._require_prepared()
+        start = self.kernel.env.now
+        vm = MicroVM(self.kernel, snapshot, pv_marking=self.pv_marking,
+                     vm_id=vm_id)
+        vm._spawn_time = start
+        vm.space.mmap(snapshot.mem_pages, file=snapshot.file,
+                      at=GUEST_BASE_VPN, ra_pages=self.ra_pages,
+                      name="guest-mem")
+        setup = self.kernel.costs.mmap_region
+        vm.setup_seconds = setup
+        yield self.kernel.env.timeout(setup)
+        return vm
+
+
+@register_approach
+class LinuxNoRA(_LinuxBase):
+    """Vanilla restore with readahead disabled."""
+
+    name = "linux-nora"
+    ra_pages = 0
+
+
+@register_approach
+class LinuxRA(_LinuxBase):
+    """Vanilla restore with the default 128 KiB readahead window."""
+
+    name = "linux-ra"
+    ra_pages = DEFAULT_READAHEAD_PAGES

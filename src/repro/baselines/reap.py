@@ -1,0 +1,181 @@
+"""REAP (ASPLOS '21): userfaultfd record-and-prefetch.
+
+Record phase: guest memory is an anonymous uffd-registered region; every
+fault is delegated to a userspace handler that fetches the page from the
+snapshot with direct I/O and installs it via ``UFFDIO_COPY``, recording
+the fault order.  The working set is then serialized *contiguously* to a
+separate file (Table 1: on-disk WS serialization = Yes).
+
+Invocation phase: a prefetcher streams the WS file with direct I/O
+(bypassing the page cache — REAP's way of avoiding the copy overhead of
+buffered reads) and preemptively installs the pages through uffd, racing
+the vCPU; a demand handler serves the stragglers from the snapshot.
+
+Every installed page is **anonymous and private** to the sandbox, so
+nothing is shared across concurrent instances — the deduplication
+failure Figures 3b/3c quantify.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Approach, register_approach
+from repro.mm.userfaultfd import Uffd
+from repro.units import PAGE_SIZE
+from repro.vmm.microvm import GUEST_BASE_VPN, MicroVM
+from repro.vmm.snapshot import build_snapshot
+from repro.workloads.profile import FunctionProfile
+
+#: Direct-I/O streaming granularity of the WS prefetcher (512 KiB).
+PREFETCH_CHUNK_PAGES = 128
+
+
+@register_approach
+class REAP(Approach):
+    """Record-and-Prefetch over userfaultfd."""
+
+    name = "reap"
+    mechanism = "userfaultfd"
+    kernel_space = False
+    serializes_ws_on_disk = True
+    in_memory_dedup = False
+    stateless_alloc_filtering = False
+    requires_snapshot_prescan = False
+
+    def __init__(self, kernel):
+        super().__init__(kernel)
+        self._ws_order: list[int] = []
+        self._ws_contents: list[int] = []
+        self._ws_file = None
+        self._ws_pos: dict[int, int] = {}
+
+    # -- record phase ---------------------------------------------------------------
+    def prepare(self, profile: FunctionProfile, record_trace):
+        self.snapshot = build_snapshot(self.kernel, profile,
+                                       suffix=f".{self.name}")
+        uffd = self.kernel.new_uffd()
+        vm = MicroVM(self.kernel, self.snapshot,
+                     vm_id=f"record-{self.name}-{profile.name}")
+        vm.space.mmap(self.snapshot.mem_pages, uffd=uffd, at=GUEST_BASE_VPN,
+                      name="guest-mem")
+        order: list[int] = []
+        self.kernel.env.process(self._record_handler(vm, uffd, order),
+                                name=f"{self.name}-record-handler")
+        yield from self._run_record_vm(vm, record_trace)
+
+        # Serialize the recorded working set contiguously (in fault order,
+        # so invocation-phase streaming matches demand order).
+        self._ws_order = order
+        self._ws_contents = [self.snapshot.file.content(g) for g in order]
+        self._ws_pos = {gfn: i for i, gfn in enumerate(order)}
+        self._ws_file = self.kernel.filestore.create(
+            f"{profile.name}.{self.name}.ws",
+            max(1, len(order)) * PAGE_SIZE)
+        for i, token in enumerate(self._ws_contents):
+            self._ws_file.set_content(i, token)
+        self.prepared = True
+
+    def _record_handler(self, vm: MicroVM, uffd: Uffd, order: list[int]):
+        """Userspace record handler: fetch faulting pages, log the order."""
+        costs = self.kernel.costs
+        while True:
+            msg = yield uffd.read()
+            gfn = msg.vpn - vm.guest_base_vpn
+            content, io_cost = yield from self._record_fetch(gfn)
+            yield self.kernel.env.timeout(costs.uffd_copy_ioctl + io_cost)
+            if not vm.space.pte_present(msg.vpn):
+                vm.space.install_anon(msg.vpn, content=content)
+            if self._record_keep(gfn):
+                order.append(gfn)
+            uffd.resolve(msg.vpn)
+
+    def _record_fetch(self, gfn: int):
+        """Generator: fetch one page during record; returns (content, cost)."""
+        yield self.kernel.filestore.read_pages(self.snapshot.file, gfn, 1)
+        return self.snapshot.file.content(gfn), 0.0
+
+    def _record_keep(self, gfn: int) -> bool:
+        """Whether a recorded fault belongs in the serialized working set."""
+        return True
+
+    # -- invocation phase ------------------------------------------------------------
+    def spawn(self, profile: FunctionProfile, vm_id: str | None = None):
+        snapshot = self._require_prepared()
+        env = self.kernel.env
+        costs = self.kernel.costs
+        start = env.now
+        vm = MicroVM(self.kernel, snapshot, vm_id=vm_id)
+        vm._spawn_time = start
+        uffd = self.kernel.new_uffd()
+        vm.space.mmap(snapshot.mem_pages, uffd=uffd, at=GUEST_BASE_VPN,
+                      name="guest-mem")
+        setup = costs.mmap_region + 2 * costs.syscall  # uffd + register
+        vm.setup_seconds = setup
+        yield env.timeout(setup)
+        env.process(self._demand_handler(vm, uffd),
+                    name=f"{self.name}-demand-{vm.vm_id}")
+        env.process(self._prefetcher(vm, uffd),
+                    name=f"{self.name}-prefetch-{vm.vm_id}")
+        return vm
+
+    def _prefetcher(self, vm: MicroVM, uffd: Uffd):
+        """Stream the WS file with direct I/O; install via UFFDIO_COPY."""
+        env = self.kernel.env
+        costs = self.kernel.costs
+        order = self._ws_order
+        if not order:
+            return
+        pos = 0
+        while pos < len(order):
+            if vm.space.dead:
+                return  # sandbox torn down mid-prefetch
+            count = min(PREFETCH_CHUNK_PAGES, len(order) - pos)
+            yield self.kernel.filestore.read_pages(self._ws_file, pos, count)
+            todo = [i for i in range(pos, pos + count)
+                    if not vm.space.pte_present(vm.guest_vpn(order[i]))]
+            if todo:
+                # ioctl + copy per page, charged before installation.
+                yield env.timeout(len(todo) * (costs.uffd_copy_ioctl
+                                               + costs.memcpy_page))
+                for i in todo:
+                    vpn = vm.guest_vpn(order[i])
+                    if not vm.space.pte_present(vpn):
+                        vm.space.install_anon(vpn,
+                                              content=self._ws_contents[i])
+                    uffd.resolve(vpn)
+            pos += count
+
+    def _demand_handler(self, vm: MicroVM, uffd: Uffd):
+        """Serve faults the prefetcher has not covered yet."""
+        env = self.kernel.env
+        costs = self.kernel.costs
+        while True:
+            msg = yield uffd.read()
+            vpn = msg.vpn
+            if vm.space.pte_present(vpn):
+                uffd.resolve(vpn)
+                continue
+            gfn = vpn - vm.guest_base_vpn
+            content, extra = yield from self._demand_fetch(gfn)
+            yield env.timeout(costs.uffd_copy_ioctl + costs.memcpy_page
+                              + extra)
+            if not vm.space.pte_present(vpn):
+                vm.space.install_anon(vpn, content=content)
+            uffd.resolve(vpn)
+
+    def _demand_fetch(self, gfn: int):
+        """Generator: fetch one page on demand; returns (content, extra_cost).
+
+        Prefer the WS file (sequential position known) and fall back to
+        the snapshot, both with direct I/O.
+        """
+        pos = self._ws_pos.get(gfn)
+        if pos is not None:
+            yield self.kernel.filestore.read_pages(self._ws_file, pos, 1)
+            return self._ws_contents[pos], 0.0
+        yield self.kernel.filestore.read_pages(self.snapshot.file, gfn, 1)
+        return self.snapshot.file.content(gfn), 0.0
+
+    # -- info ---------------------------------------------------------------------------
+    @property
+    def working_set_pages(self) -> int:
+        return len(self._ws_order)

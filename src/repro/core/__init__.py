@@ -1,0 +1,30 @@
+"""SnapBPF: the paper's contribution.
+
+* :mod:`repro.core.grouping` — offset grouping: contiguous working-set
+  page ranges, sorted by earliest access time (§3.1 "Loading the working
+  set"),
+* :mod:`repro.core.progs` — the capture and prefetch eBPF programs,
+  written in the :mod:`repro.ebpf` assembly and verified at attach time,
+* :mod:`repro.core.kfuncs` — the ``snapbpf_prefetch`` kfunc wrapping
+  ``page_cache_ra_unbounded()``,
+* :mod:`repro.core.approach` — the SnapBPF restore approach (eBPF
+  capture/prefetch + PV PTE marking + patched KVM), plus the PV-PTEs-only
+  variant used by the Figure 4 breakdown.
+"""
+
+from repro.core.approach import PVPTEsOnly, SnapBPF
+from repro.core.grouping import Group, group_offsets, groups_metadata_bytes
+from repro.core.kfuncs import SNAPBPF_PREFETCH, register_snapbpf_kfunc
+from repro.core.progs import build_capture_program, build_prefetch_program
+
+__all__ = [
+    "Group",
+    "PVPTEsOnly",
+    "SNAPBPF_PREFETCH",
+    "SnapBPF",
+    "build_capture_program",
+    "build_prefetch_program",
+    "group_offsets",
+    "groups_metadata_bytes",
+    "register_snapbpf_kfunc",
+]

@@ -1,0 +1,161 @@
+"""The SnapBPF restore approach (and the Figure 4 PV-only variant).
+
+Record phase: attach the capture program to the ``add_to_page_cache_lru``
+kprobe, restore a sandbox with readahead disabled and PV marking on, run
+the function once, drain the offsets map, group + sort (§3.1), and store
+the tiny metadata file — *no* working-set pages are serialized.
+
+Invocation phase (Figure 1): read the grouped offsets from disk, load
+them into an eBPF array map (the 1-2 ms overhead of §4), attach the
+prefetch program, and trigger it by touching the first snapshot page.
+The program drives ``page_cache_ra_unbounded`` through the kfunc, so the
+working set lands in the shared page cache; PV PTE marking routes guest
+allocations to anonymous memory with zero snapshot I/O; the patched KVM
+keeps read faults from CoWing shared pages.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Approach, register_approach
+from repro.baselines.linux import LinuxRA
+from repro.core.grouping import Group, group_offsets, groups_metadata_bytes
+from repro.core.kfuncs import register_snapbpf_kfunc
+from repro.core.progs import (
+    build_capture_program,
+    build_prefetch_program,
+    load_groups,
+    make_groups_map,
+    make_state_map,
+    make_ws_map,
+)
+from repro.mm.page_cache import HOOK_ADD_TO_PAGE_CACHE
+from repro.vmm.microvm import GUEST_BASE_VPN, MicroVM
+from repro.vmm.snapshot import build_snapshot
+from repro.workloads.profile import FunctionProfile
+
+
+@register_approach
+class SnapBPF(Approach):
+    """eBPF kernel-space capture and prefetch + PV PTE marking."""
+
+    name = "snapbpf"
+    mechanism = "eBPF"
+    kernel_space = True
+    serializes_ws_on_disk = False
+    in_memory_dedup = True
+    stateless_alloc_filtering = True
+    requires_snapshot_prescan = False
+
+    #: Readahead on the snapshot mapping during invocations.  SnapBPF
+    #: drives its own prefetching, so speculative kernel readahead would
+    #: only re-inflate the fetched set; keeping it off preserves the
+    #: "leaner working sets, similar to REAP" behaviour of §4.
+    ra_pages = 0
+
+    def __init__(self, kernel, pv_marking: bool = True,
+                 patched_cow: bool = True):
+        super().__init__(kernel)
+        self.pv_marking = pv_marking
+        self.patched_cow = patched_cow
+        register_snapbpf_kfunc(kernel)
+        self.groups: list[Group] = []
+        self._meta_file = None
+        #: Per-sandbox offset-load (bpf map update) seconds — the §4
+        #: "SnapBPF Overheads" measurement.
+        self.map_load_seconds: dict[str, float] = {}
+        self.captured_pages = 0
+
+    # -- record phase -------------------------------------------------------------
+    def prepare(self, profile: FunctionProfile, record_trace):
+        env = self.kernel.env
+        costs = self.kernel.costs
+        self.snapshot = build_snapshot(self.kernel, profile,
+                                       suffix=f".{self.name}")
+        ws_map = make_ws_map(f"ws_{profile.name}")
+        capture = build_capture_program(self.snapshot.file.ino, ws_map)
+        self.kernel.kprobes.attach(HOOK_ADD_TO_PAGE_CACHE, capture)
+        yield env.timeout(costs.bpf_prog_attach)
+        try:
+            vm = MicroVM(self.kernel, self.snapshot,
+                         pv_marking=self.pv_marking,
+                         patched_cow=self.patched_cow,
+                         vm_id=f"record-{self.name}-{profile.name}")
+            vm.space.mmap(self.snapshot.mem_pages, file=self.snapshot.file,
+                          at=GUEST_BASE_VPN, ra_pages=0, name="guest-mem")
+            yield from self._run_record_vm(vm, record_trace)
+        finally:
+            self.kernel.kprobes.detach(HOOK_ADD_TO_PAGE_CACHE, capture)
+
+        # VMM drains the offsets map, groups + sorts, stores metadata.
+        entries = ws_map.items_u64()
+        yield env.timeout(len(entries) * costs.bpf_map_lookup)
+        self.captured_pages = len(entries)
+        self.groups = group_offsets((idx, ts[0]) for idx, ts in entries)
+        self._meta_file = self.kernel.filestore.create(
+            f"{profile.name}.{self.name}.groups",
+            groups_metadata_bytes(self.groups))
+        self.prepared = True
+
+    # -- invocation phase ----------------------------------------------------------
+    def spawn(self, profile: FunctionProfile, vm_id: str | None = None):
+        snapshot = self._require_prepared()
+        env = self.kernel.env
+        costs = self.kernel.costs
+        start = env.now
+        vm = MicroVM(self.kernel, snapshot, pv_marking=self.pv_marking,
+                     patched_cow=self.patched_cow, vm_id=vm_id)
+        vm._spawn_time = start
+        vm.space.mmap(snapshot.mem_pages, file=snapshot.file,
+                      at=GUEST_BASE_VPN, ra_pages=self.ra_pages,
+                      name="guest-mem")
+        yield env.timeout(costs.mmap_region)
+
+        # (1) Read the grouped offsets from disk and load them into the
+        # eBPF array map.
+        if self._meta_file is not None:
+            yield self.kernel.filestore.read_pages(
+                self._meta_file, 0, self._meta_file.size_pages)
+        groups_map = make_groups_map(f"groups_{vm.vm_id}", len(self.groups))
+        state_map = make_state_map(f"state_{vm.vm_id}")
+        load_groups(groups_map, self.groups)
+        map_load = len(self.groups) * costs.bpf_map_update
+        self.map_load_seconds[vm.vm_id] = map_load
+        yield env.timeout(map_load)
+
+        # (2) Attach the prefetch program (verified on attach).
+        prog = build_prefetch_program(snapshot.file.ino, groups_map,
+                                      state_map)
+        self.kernel.kprobes.attach(HOOK_ADD_TO_PAGE_CACHE, prog)
+        yield env.timeout(costs.bpf_prog_attach)
+        vm._snapbpf_prog = prog  # for cleanup in post_invoke
+
+        vm.setup_seconds = env.now - start
+
+        # (3) Trigger prefetching by touching the first snapshot page.
+        trigger_cost = yield from vm.space.handle_fault(vm.guest_vpn(0),
+                                                        False)
+        yield env.timeout(trigger_cost)
+        return vm
+
+    def post_invoke(self, vm: MicroVM) -> None:
+        prog = getattr(vm, "_snapbpf_prog", None)
+        if prog is not None and prog in self.kernel.kprobes.attached(
+                HOOK_ADD_TO_PAGE_CACHE):
+            self.kernel.kprobes.detach(HOOK_ADD_TO_PAGE_CACHE, prog)
+
+    # -- info ---------------------------------------------------------------------------
+    @property
+    def metadata_bytes(self) -> int:
+        """On-disk footprint of the prefetch metadata (vs. a WS *file*)."""
+        return groups_metadata_bytes(self.groups)
+
+
+@register_approach
+class PVPTEsOnly(LinuxRA):
+    """Figure 4's middle bar: default Linux readahead + PV PTE marking,
+    without the eBPF prefetching mechanism."""
+
+    name = "pv-ptes"
+    mechanism = "mmap / demand paging + PV PTE marking"
+    stateless_alloc_filtering = True
+    pv_marking = True

@@ -1,0 +1,42 @@
+"""The ``snapbpf_prefetch`` kfunc (§3.1).
+
+    "As the Linux kernel sandboxes eBPF programs, which prevents them
+    from, for example, issuing block requests to storage or manipulating
+    the OS page cache, we implement an eBPF helper function, more
+    specifically a kfunc (snapbpf_prefetch()), which wraps around the
+    Linux page cache readahead routine that prefetches pages from storage
+    (page_cache_ra_unbounded())."
+
+Registering the kfunc against a kernel's :class:`KfuncRegistry` is what
+allows the prefetch program to pass verification; the CPU cost of the
+readahead work it triggers is charged back to the kprobe fire that ran
+the program (via ``kprobes.side_cost``).
+"""
+
+from __future__ import annotations
+
+from repro.mm.kernel import Kernel
+
+SNAPBPF_PREFETCH = "snapbpf_prefetch"
+
+
+def register_snapbpf_kfunc(kernel: Kernel) -> None:
+    """Expose snapbpf_prefetch(ino, start_page, npages) to BPF programs.
+
+    Idempotent per kernel.  Returns the number of pages whose fetch was
+    initiated (0 for unknown inodes or fully-resident ranges).
+    """
+    if SNAPBPF_PREFETCH in kernel.kfuncs:
+        return
+
+    def snapbpf_prefetch(ino: int, start_page: int, npages: int) -> int:
+        try:
+            file = kernel.filestore.by_ino(ino)
+        except FileNotFoundError:
+            return 0
+        cost = kernel.page_cache.page_cache_ra_unbounded(
+            file, start_page, npages)
+        kernel.kprobes.side_cost += cost
+        return min(npages, max(0, file.size_pages - start_page))
+
+    kernel.kfuncs.register(SNAPBPF_PREFETCH, snapbpf_prefetch, n_args=3)

@@ -1,0 +1,151 @@
+"""The SnapBPF eBPF programs, in :mod:`repro.ebpf` assembly.
+
+Both attach to the kprobe on ``add_to_page_cache_lru`` whose context is
+``(u64 ino, u64 page_index)``.
+
+Capture program (§3.1 "Capturing the working set"): filters insertions to
+the function's snapshot inode and records each page's file offset and
+first-access timestamp in a hash map the VMM drains after the record
+invocation.  Only offsets are stored — never the pages themselves.
+
+Prefetch program (§3.1 "Loading the working set"): on the first
+insertion for the snapshot inode (the VMM's trigger touch), it walks the
+array map of grouped offsets — already sorted by earliest access — and
+calls the ``snapbpf_prefetch`` kfunc for each contiguous range, then
+disables itself (returns ``RET_DETACH_SELF``).  A done-flag map makes
+nested fires (the kfunc's own cache insertions re-enter the hook) exit
+immediately.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.kfuncs import SNAPBPF_PREFETCH
+from repro.ebpf.asm import (
+    Label,
+    Program,
+    alui,
+    assemble,
+    call,
+    call_kfunc,
+    exit_,
+    jcond,
+    jmp,
+    ldmap,
+    load,
+    mov,
+    movi,
+    store,
+    storei,
+)
+from repro.ebpf.helpers import (
+    BPF_FUNC_KTIME_GET_NS,
+    BPF_FUNC_MAP_LOOKUP_ELEM,
+    BPF_FUNC_MAP_UPDATE_ELEM,
+)
+from repro.ebpf.insn import R0, R1, R2, R3, R4, R6, R7, R8, R10
+from repro.ebpf.kprobe import RET_DETACH_SELF
+from repro.ebpf.maps import ArrayMap, BpfMap, HashMap
+
+
+def make_ws_map(name: str, max_entries: int = 1 << 21) -> HashMap:
+    """Map the capture program fills: page offset (u64) -> first-access ns."""
+    return HashMap(name, key_size=8, value_size=8, max_entries=max_entries)
+
+
+def make_groups_map(name: str, n_groups: int) -> ArrayMap:
+    """Array of (u64 start, u64 count) records, zero-terminated."""
+    return ArrayMap(name, value_size=16, max_entries=n_groups + 1)
+
+
+def make_state_map(name: str) -> ArrayMap:
+    """Single-slot state: slot 0 holds the prefetch done flag."""
+    return ArrayMap(name, value_size=8, max_entries=1)
+
+
+def load_groups(groups_map: ArrayMap, groups) -> None:
+    """Userspace side: write grouped offsets into the array map.
+
+    The harness charges ``costs.bpf_map_update`` per entry for this — the
+    1-2 ms offset-load overhead the paper reports (§4 "SnapBPF
+    Overheads")."""
+    if len(groups) >= groups_map.max_entries:
+        raise ValueError(
+            f"{len(groups)} groups do not fit map of "
+            f"{groups_map.max_entries} (need a zero sentinel slot)")
+    for i, group in enumerate(groups):
+        groups_map.update(struct.pack("<I", i),
+                          struct.pack("<QQ", group.start, group.count))
+
+
+def build_capture_program(snapshot_ino: int, ws_map: HashMap,
+                          name: str = "snapbpf_capture") -> Program:
+    """Record (offset -> first-access timestamp) for snapshot-inode pages."""
+    source = [
+        load(R6, R1, 0),                       # r6 = ctx->ino
+        jcond("jne", R6, "out", imm=snapshot_ino),
+        load(R7, R1, 8),                       # r7 = ctx->index
+        call(BPF_FUNC_KTIME_GET_NS),
+        mov(R8, R0),                           # r8 = now_ns
+        store(R10, -8, R7),                    # key = index
+        ldmap(R1, "ws"),
+        mov(R2, R10), alui("add", R2, -8),
+        call(BPF_FUNC_MAP_LOOKUP_ELEM),
+        jcond("jne", R0, "out", imm=0),        # already recorded: keep
+                                               # the FIRST access time
+        store(R10, -16, R8),                   # value = timestamp
+        ldmap(R1, "ws"),
+        mov(R2, R10), alui("add", R2, -8),
+        mov(R3, R10), alui("add", R3, -16),
+        movi(R4, 0),
+        call(BPF_FUNC_MAP_UPDATE_ELEM),
+        Label("out"),
+        movi(R0, 0),
+        exit_(),
+    ]
+    return assemble(name, source, maps={"ws": ws_map})
+
+
+def build_prefetch_program(snapshot_ino: int, groups_map: ArrayMap,
+                           state_map: ArrayMap,
+                           name: str = "snapbpf_prefetch_prog") -> Program:
+    """Walk the grouped offsets, kfunc-prefetch each range, self-detach."""
+    max_iter = groups_map.max_entries
+    source = [
+        load(R6, R1, 0),                       # r6 = ctx->ino
+        jcond("jne", R6, "idle", imm=snapshot_ino),
+        # done-flag check: nested fires (our own prefetch insertions) and
+        # stray later insertions must not re-trigger.
+        storei(R10, -4, 0, width=4),
+        ldmap(R1, "state"),
+        mov(R2, R10), alui("add", R2, -4),
+        call(BPF_FUNC_MAP_LOOKUP_ELEM),
+        jcond("jeq", R0, "idle", imm=0),
+        load(R7, R0, 0),
+        jcond("jne", R7, "idle", imm=0),
+        storei(R0, 0, 1),                      # done = 1 (before issuing)
+        movi(R8, 0),                           # r8 = group index
+        Label("loop"),
+        jcond("jge", R8, "done", imm=max_iter),
+        store(R10, -4, R8, width=4),
+        ldmap(R1, "groups"),
+        mov(R2, R10), alui("add", R2, -4),
+        call(BPF_FUNC_MAP_LOOKUP_ELEM),
+        jcond("jeq", R0, "done", imm=0),
+        load(R3, R0, 8),                       # r3 = count
+        jcond("jeq", R3, "done", imm=0),       # zero sentinel: finished
+        load(R2, R0, 0),                       # r2 = start
+        movi(R1, snapshot_ino),
+        call_kfunc(SNAPBPF_PREFETCH),
+        alui("add", R8, 1),
+        jmp("loop"),
+        Label("done"),
+        movi(R0, RET_DETACH_SELF),             # issued last group: disable
+        exit_(),
+        Label("idle"),
+        movi(R0, 0),
+        exit_(),
+    ]
+    return assemble(name, source,
+                    maps={"groups": groups_map, "state": state_map})

@@ -1,0 +1,148 @@
+"""Assembler: labels + mnemonic helpers producing a verified-ready Program.
+
+Programs are written as flat lists mixing :class:`Label` markers and
+instructions; :func:`assemble` resolves label targets to absolute
+instruction indices and wraps the result in a :class:`Program` together
+with its map table (name -> BpfMap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ebpf.insn import (
+    Alu,
+    Call,
+    CallKfunc,
+    Exit,
+    Insn,
+    Jmp,
+    Load,
+    LoadMapFd,
+    Store,
+)
+from repro.ebpf.maps import BpfMap
+
+
+@dataclass(frozen=True)
+class Label:
+    name: str
+
+
+@dataclass
+class Program:
+    """An assembled (label-free) program plus its referenced maps."""
+
+    name: str
+    insns: list[Insn]
+    maps: dict[str, BpfMap] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.insns)
+
+    def map_named(self, name: str) -> BpfMap:
+        try:
+            return self.maps[name]
+        except KeyError:
+            raise KeyError(
+                f"program {self.name!r} references unknown map {name!r}"
+            ) from None
+
+
+class AssemblyError(ValueError):
+    """Malformed source: duplicate or unresolved labels, empty program."""
+
+
+def assemble(name: str, source: list[Insn | Label],
+             maps: dict[str, BpfMap] | None = None) -> Program:
+    """Resolve labels and produce a :class:`Program`.
+
+    Jump targets may be :class:`Label` names (strings) or already-absolute
+    integer indices; after assembly every ``Jmp.target`` is an int.
+    """
+    maps = dict(maps or {})
+    labels: dict[str, int] = {}
+    insns: list[Insn] = []
+    for item in source:
+        if isinstance(item, Label):
+            if item.name in labels:
+                raise AssemblyError(f"duplicate label {item.name!r}")
+            labels[item.name] = len(insns)
+        elif isinstance(item, Insn):
+            insns.append(item)
+        else:
+            raise AssemblyError(f"not an instruction or label: {item!r}")
+    if not insns:
+        raise AssemblyError("empty program")
+
+    resolved: list[Insn] = []
+    for idx, insn in enumerate(insns):
+        if isinstance(insn, Jmp):
+            target = insn.target
+            if isinstance(target, str):
+                if target not in labels:
+                    raise AssemblyError(
+                        f"unresolved label {target!r} at insn {idx}")
+                target = labels[target]
+            if not isinstance(target, int):
+                raise AssemblyError(f"bad jump target {insn.target!r}")
+            insn = Jmp(insn.op, target, dst=insn.dst, src=insn.src, imm=insn.imm)
+        if isinstance(insn, LoadMapFd) and insn.map_name not in maps:
+            raise AssemblyError(
+                f"insn {idx} references map {insn.map_name!r} not in map table")
+        resolved.append(insn)
+    return Program(name=name, insns=resolved, maps=maps)
+
+
+# -- mnemonic sugar ----------------------------------------------------------
+def mov(dst: int, src: int) -> Alu:
+    return Alu("mov", dst, src=src)
+
+
+def movi(dst: int, imm: int) -> Alu:
+    return Alu("mov", dst, imm=imm)
+
+
+def alu(op: str, dst: int, src: int) -> Alu:
+    return Alu(op, dst, src=src)
+
+
+def alui(op: str, dst: int, imm: int) -> Alu:
+    return Alu(op, dst, imm=imm)
+
+
+def jmp(target: str | int) -> Jmp:
+    return Jmp("ja", target)
+
+
+def jcond(op: str, dst: int, target: str | int, *, src: int | None = None,
+          imm: int | None = None) -> Jmp:
+    return Jmp(op, target, dst=dst, src=src, imm=imm)
+
+
+def load(dst: int, src: int, off: int, width: int = 8) -> Load:
+    return Load(dst, src, off, width)
+
+
+def store(dst: int, off: int, src: int, width: int = 8) -> Store:
+    return Store(dst, off, src=src, width=width)
+
+
+def storei(dst: int, off: int, imm: int, width: int = 8) -> Store:
+    return Store(dst, off, imm=imm, width=width)
+
+
+def ldmap(dst: int, map_name: str) -> LoadMapFd:
+    return LoadMapFd(dst, map_name)
+
+
+def call(helper_id: int) -> Call:
+    return Call(helper_id)
+
+
+def call_kfunc(name: str) -> CallKfunc:
+    return CallKfunc(name)
+
+
+def exit_() -> Exit:
+    return Exit()

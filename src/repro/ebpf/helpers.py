@@ -1,0 +1,67 @@
+"""BPF helper function table: ids, type signatures, runtime semantics.
+
+The helper set is deliberately the small classic core — notably there is
+*no* helper that can issue block I/O or insert pages into the page cache.
+That omission is the point: it is why the paper (and this reproduction)
+must expose ``snapbpf_prefetch`` as an explicitly registered kfunc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Helper ids (matching the classic kernel numbering where one exists).
+BPF_FUNC_MAP_LOOKUP_ELEM = 1
+BPF_FUNC_MAP_UPDATE_ELEM = 2
+BPF_FUNC_MAP_DELETE_ELEM = 3
+BPF_FUNC_KTIME_GET_NS = 5
+BPF_FUNC_TRACE_PRINTK = 6
+
+# Argument archetypes used by the verifier.
+ARG_CONST_MAP_PTR = "const_map_ptr"
+ARG_PTR_TO_MAP_KEY = "ptr_to_map_key"
+ARG_PTR_TO_MAP_VALUE = "ptr_to_map_value"
+ARG_SCALAR = "scalar"
+
+# Return archetypes.
+RET_INTEGER = "integer"
+RET_MAP_VALUE_OR_NULL = "map_value_or_null"
+RET_VOID = "void"
+
+
+@dataclass(frozen=True)
+class HelperSpec:
+    """Static signature of one helper, consumed by the verifier."""
+
+    helper_id: int
+    name: str
+    args: tuple[str, ...]
+    ret: str
+
+
+HELPERS: dict[int, HelperSpec] = {
+    spec.helper_id: spec
+    for spec in (
+        HelperSpec(BPF_FUNC_MAP_LOOKUP_ELEM, "bpf_map_lookup_elem",
+                   (ARG_CONST_MAP_PTR, ARG_PTR_TO_MAP_KEY),
+                   RET_MAP_VALUE_OR_NULL),
+        HelperSpec(BPF_FUNC_MAP_UPDATE_ELEM, "bpf_map_update_elem",
+                   (ARG_CONST_MAP_PTR, ARG_PTR_TO_MAP_KEY,
+                    ARG_PTR_TO_MAP_VALUE, ARG_SCALAR),
+                   RET_INTEGER),
+        HelperSpec(BPF_FUNC_MAP_DELETE_ELEM, "bpf_map_delete_elem",
+                   (ARG_CONST_MAP_PTR, ARG_PTR_TO_MAP_KEY),
+                   RET_INTEGER),
+        HelperSpec(BPF_FUNC_KTIME_GET_NS, "bpf_ktime_get_ns",
+                   (), RET_INTEGER),
+        HelperSpec(BPF_FUNC_TRACE_PRINTK, "bpf_trace_printk",
+                   (ARG_SCALAR,), RET_INTEGER),
+    )
+}
+
+
+def spec_for(helper_id: int) -> HelperSpec:
+    try:
+        return HELPERS[helper_id]
+    except KeyError:
+        raise KeyError(f"unknown BPF helper id {helper_id}") from None

@@ -1,0 +1,334 @@
+"""Interpreter for verified programs.
+
+Runs an assembled :class:`~repro.ebpf.asm.Program` against a concrete
+context, with the runtime guarantees the kernel gives: a hard budget on
+executed instructions (loop termination) and bounds-checked memory even
+though the verifier already proved safety (defense in depth — a verifier
+bug must not corrupt the "kernel").
+
+Execution cost is reported as the executed-instruction count so callers
+(the kprobe dispatch path) can charge simulated nanoseconds for program
+runs — eBPF overhead is part of what the paper measures.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ebpf import helpers as H
+from repro.ebpf.asm import Program
+from repro.ebpf.insn import (
+    FP,
+    NUM_REGS,
+    R0,
+    R1,
+    STACK_SIZE,
+    U64_MASK,
+    Alu,
+    Call,
+    CallKfunc,
+    Exit,
+    Jmp,
+    Load,
+    LoadMapFd,
+    Store,
+)
+from repro.ebpf.kfunc import KfuncRegistry
+from repro.ebpf.maps import BpfMap
+
+INSN_BUDGET = 1 << 20
+
+
+class RuntimeFault(RuntimeError):
+    """Illegal runtime behaviour (should be prevented by the verifier)."""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program run."""
+
+    r0: int
+    insn_count: int
+    trace: list[int] = field(default_factory=list)
+
+
+class _Region:
+    """A bounds-checked byte region addressable from BPF."""
+
+    def __init__(self, data: bytearray | bytes, writable: bool, name: str):
+        self.data = data
+        self.writable = writable
+        self.name = name
+
+    def read(self, off: int, width: int) -> int:
+        if off < 0 or off + width > len(self.data):
+            raise RuntimeFault(
+                f"{self.name}: read [{off}, {off + width}) out of bounds")
+        return int.from_bytes(self.data[off:off + width], "little")
+
+    def read_bytes(self, off: int, size: int) -> bytes:
+        if off < 0 or off + size > len(self.data):
+            raise RuntimeFault(
+                f"{self.name}: read [{off}, {off + size}) out of bounds")
+        return bytes(self.data[off:off + size])
+
+    def write(self, off: int, width: int, value: int) -> None:
+        if not self.writable:
+            raise RuntimeFault(f"{self.name}: region is read-only")
+        if off < 0 or off + width > len(self.data):
+            raise RuntimeFault(
+                f"{self.name}: write [{off}, {off + width}) out of bounds")
+        self.data[off:off + width] = (value & ((1 << (8 * width)) - 1)).to_bytes(
+            width, "little")
+
+
+@dataclass
+class _Ptr:
+    """A concrete typed pointer: region + byte offset."""
+
+    region: _Region | None
+    off: int
+    bpf_map: BpfMap | None = None  # set for const-map pointers
+
+    def moved(self, delta: int) -> "_Ptr":
+        return _Ptr(self.region, self.off + delta, self.bpf_map)
+
+
+def _to_signed(value: int) -> int:
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+class Interpreter:
+    """Executes programs; shared helper/kfunc environment."""
+
+    def __init__(self, kfuncs: KfuncRegistry | None = None,
+                 time_ns: Callable[[], int] | None = None):
+        self.kfuncs = kfuncs or KfuncRegistry()
+        self.time_ns = time_ns or (lambda: 0)
+        self.printk_log: list[int] = []
+
+    def run(self, program: Program, ctx: bytes = b"",
+            budget: int = INSN_BUDGET) -> ExecutionResult:
+        stack = _Region(bytearray(STACK_SIZE), writable=True, name="stack")
+        ctx_region = _Region(bytes(ctx), writable=False, name="ctx")
+        regs: list[object] = [None] * NUM_REGS
+        regs[R1] = _Ptr(ctx_region, 0)
+        regs[FP] = _Ptr(stack, STACK_SIZE)
+
+        pc = 0
+        executed = 0
+        while True:
+            if executed >= budget:
+                raise RuntimeFault(
+                    f"instruction budget {budget} exhausted at pc {pc}")
+            if not 0 <= pc < len(program.insns):
+                raise RuntimeFault(f"pc {pc} out of program")
+            insn = program.insns[pc]
+            executed += 1
+
+            if isinstance(insn, Exit):
+                r0 = regs[R0]
+                if not isinstance(r0, int):
+                    raise RuntimeFault("exit with non-scalar R0")
+                return ExecutionResult(r0=r0, insn_count=executed)
+            if isinstance(insn, Alu):
+                self._alu(regs, insn)
+                pc += 1
+            elif isinstance(insn, Jmp):
+                pc = self._jump(regs, insn, pc)
+            elif isinstance(insn, Load):
+                ptr = self._as_ptr(regs[insn.src], "load base")
+                regs[insn.dst] = ptr.region.read(ptr.off + insn.off, insn.width)
+                pc += 1
+            elif isinstance(insn, Store):
+                ptr = self._as_ptr(regs[insn.dst], "store base")
+                value = insn.imm if insn.imm is not None else regs[insn.src]
+                if not isinstance(value, int):
+                    raise RuntimeFault("store of non-scalar value")
+                ptr.region.write(ptr.off + insn.off, insn.width, value)
+                pc += 1
+            elif isinstance(insn, LoadMapFd):
+                regs[insn.dst] = _Ptr(None, 0,
+                                      bpf_map=program.map_named(insn.map_name))
+                pc += 1
+            elif isinstance(insn, Call):
+                regs[R0] = self._helper(regs, insn.helper_id)
+                self._clobber(regs)
+                pc += 1
+            elif isinstance(insn, CallKfunc):
+                spec = self.kfuncs.get(insn.name)
+                args = []
+                for arg_idx in range(spec.n_args):
+                    arg = regs[R1 + arg_idx]
+                    if not isinstance(arg, int):
+                        raise RuntimeFault(
+                            f"kfunc {insn.name}: arg{arg_idx + 1} not scalar")
+                    args.append(arg)
+                result = spec.func(*args)
+                regs[R0] = int(result) & U64_MASK if result is not None else 0
+                self._clobber(regs)
+                pc += 1
+            else:  # pragma: no cover
+                raise RuntimeFault(f"unknown instruction {insn!r}")
+
+    # -- instruction semantics -------------------------------------------------
+    @staticmethod
+    def _as_ptr(value: object, what: str) -> _Ptr:
+        if not isinstance(value, _Ptr) or value.region is None:
+            raise RuntimeFault(f"{what} is not a dereferenceable pointer")
+        return value
+
+    def _alu(self, regs: list[object], insn: Alu) -> None:
+        op = insn.op
+        if op == "mov":
+            regs[insn.dst] = (insn.imm & U64_MASK if insn.imm is not None
+                              else regs[insn.src])
+            return
+        if op == "neg":
+            value = regs[insn.dst]
+            if not isinstance(value, int):
+                raise RuntimeFault("neg on pointer")
+            regs[insn.dst] = (-value) & U64_MASK
+            return
+        dst = regs[insn.dst]
+        src = insn.imm if insn.imm is not None else regs[insn.src]
+        if isinstance(dst, _Ptr):
+            if op == "add" and isinstance(src, int):
+                regs[insn.dst] = dst.moved(_to_signed(src & U64_MASK))
+            elif op == "sub" and isinstance(src, int):
+                regs[insn.dst] = dst.moved(-_to_signed(src & U64_MASK))
+            else:
+                raise RuntimeFault(f"{op} on pointer")
+            return
+        if not isinstance(dst, int) or not isinstance(src, int):
+            raise RuntimeFault(f"{op} with non-scalar operand")
+        src &= U64_MASK
+        if op == "add":
+            result = dst + src
+        elif op == "sub":
+            result = dst - src
+        elif op == "mul":
+            result = dst * src
+        elif op == "div":
+            result = 0 if src == 0 else dst // src
+        elif op == "mod":
+            result = dst if src == 0 else dst % src
+        elif op == "and":
+            result = dst & src
+        elif op == "or":
+            result = dst | src
+        elif op == "xor":
+            result = dst ^ src
+        elif op == "lsh":
+            result = dst << (src & 63)
+        elif op == "rsh":
+            result = dst >> (src & 63)
+        elif op == "arsh":
+            result = _to_signed(dst) >> (src & 63)
+        else:  # pragma: no cover - validated at construction
+            raise RuntimeFault(f"unknown ALU op {op}")
+        regs[insn.dst] = result & U64_MASK
+
+    def _jump(self, regs: list[object], insn: Jmp, pc: int) -> int:
+        if insn.op == "ja":
+            return insn.target
+        dst = regs[insn.dst]
+        src = insn.imm if insn.imm is not None else regs[insn.src]
+        if isinstance(dst, _Ptr):
+            # Only the NULL check is legal on pointers; a live _Ptr is by
+            # construction non-null (NULL lookups return scalar 0).
+            if insn.op in ("jeq", "jne") and isinstance(src, int) and src == 0:
+                return insn.target if insn.op == "jne" else pc + 1
+            raise RuntimeFault("pointer comparison beyond NULL check")
+        if not isinstance(dst, int) or not isinstance(src, int):
+            raise RuntimeFault("jump on non-scalar operands")
+        dst &= U64_MASK
+        src &= U64_MASK
+        op = insn.op
+        if op == "jeq":
+            taken = dst == src
+        elif op == "jne":
+            taken = dst != src
+        elif op == "jgt":
+            taken = dst > src
+        elif op == "jge":
+            taken = dst >= src
+        elif op == "jlt":
+            taken = dst < src
+        elif op == "jle":
+            taken = dst <= src
+        elif op == "jsgt":
+            taken = _to_signed(dst) > _to_signed(src)
+        elif op == "jsge":
+            taken = _to_signed(dst) >= _to_signed(src)
+        elif op == "jslt":
+            taken = _to_signed(dst) < _to_signed(src)
+        elif op == "jsle":
+            taken = _to_signed(dst) <= _to_signed(src)
+        elif op == "jset":
+            taken = (dst & src) != 0
+        else:  # pragma: no cover
+            raise RuntimeFault(f"unknown jump op {op}")
+        return insn.target if taken else pc + 1
+
+    # -- helpers ---------------------------------------------------------------
+    def _helper(self, regs: list[object], helper_id: int) -> object:
+        spec = H.spec_for(helper_id)
+        if spec.helper_id == H.BPF_FUNC_MAP_LOOKUP_ELEM:
+            bpf_map = self._map_arg(regs[R1])
+            key = self._buffer_arg(regs[R1 + 1], bpf_map.key_size)
+            value = bpf_map.lookup(key)
+            if value is None:
+                return 0
+            return _Ptr(_Region(value, writable=True,
+                                name=f"map:{bpf_map.name}"), 0)
+        if spec.helper_id == H.BPF_FUNC_MAP_UPDATE_ELEM:
+            bpf_map = self._map_arg(regs[R1])
+            key = self._buffer_arg(regs[R1 + 1], bpf_map.key_size)
+            value = self._buffer_arg(regs[R1 + 2], bpf_map.value_size)
+            try:
+                bpf_map.update(key, value)
+            except ValueError:
+                return (-1) & U64_MASK
+            return 0
+        if spec.helper_id == H.BPF_FUNC_MAP_DELETE_ELEM:
+            bpf_map = self._map_arg(regs[R1])
+            key = self._buffer_arg(regs[R1 + 1], bpf_map.key_size)
+            try:
+                bpf_map.delete(key)
+            except ValueError:
+                return (-1) & U64_MASK
+            return 0
+        if spec.helper_id == H.BPF_FUNC_KTIME_GET_NS:
+            return int(self.time_ns()) & U64_MASK
+        if spec.helper_id == H.BPF_FUNC_TRACE_PRINTK:
+            value = regs[R1]
+            if not isinstance(value, int):
+                raise RuntimeFault("trace_printk arg not scalar")
+            self.printk_log.append(value)
+            return 0
+        raise RuntimeFault(f"helper {helper_id} not implemented")
+
+    @staticmethod
+    def _map_arg(value: object) -> BpfMap:
+        if not isinstance(value, _Ptr) or value.bpf_map is None:
+            raise RuntimeFault("helper expected a map pointer")
+        return value.bpf_map
+
+    @staticmethod
+    def _buffer_arg(value: object, size: int) -> bytes:
+        if not isinstance(value, _Ptr) or value.region is None:
+            raise RuntimeFault("helper expected a buffer pointer")
+        return value.region.read_bytes(value.off, size)
+
+    @staticmethod
+    def _clobber(regs: list[object]) -> None:
+        for reg in range(R1, R1 + 5):
+            regs[reg] = None
+
+
+def pack_u64(*values: int) -> bytes:
+    """Pack integers as a little-endian u64 context struct."""
+    return struct.pack(f"<{len(values)}Q", *values)

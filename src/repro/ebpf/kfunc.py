@@ -1,0 +1,62 @@
+"""Kernel-function (kfunc) registry.
+
+kfuncs are the escape hatch the kernel deliberately opens to BPF: a
+kernel module registers a named function with a fixed scalar signature,
+and only then will the verifier accept ``CallKfunc`` instructions naming
+it.  SnapBPF registers exactly one — ``snapbpf_prefetch(ino, start_page,
+npages)``, a thin wrapper around ``page_cache_ra_unbounded()`` — because
+sandboxed BPF programs cannot issue block requests or manipulate the OS
+page cache themselves (paper §3.1).
+
+Kfunc implementations here are plain Python callables taking ``n_args``
+integers and returning an integer; side effects (issuing readahead into
+the simulated page cache) happen through closures over the mm layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+class KfuncError(KeyError):
+    """Unknown kfunc name or signature mismatch at registration."""
+
+
+@dataclass(frozen=True)
+class KfuncSpec:
+    name: str
+    n_args: int
+    func: Callable[..., int]
+
+
+class KfuncRegistry:
+    """Named kfuncs available to programs verified against this runtime."""
+
+    def __init__(self) -> None:
+        self._kfuncs: dict[str, KfuncSpec] = {}
+
+    def register(self, name: str, func: Callable[..., int],
+                 n_args: int) -> None:
+        if not 0 <= n_args <= 5:
+            raise KfuncError(f"kfunc {name!r}: 0..5 scalar args supported")
+        if name in self._kfuncs:
+            raise KfuncError(f"kfunc {name!r} already registered")
+        self._kfuncs[name] = KfuncSpec(name, n_args, func)
+
+    def unregister(self, name: str) -> None:
+        if name not in self._kfuncs:
+            raise KfuncError(f"kfunc {name!r} not registered")
+        del self._kfuncs[name]
+
+    def get(self, name: str) -> KfuncSpec:
+        try:
+            return self._kfuncs[name]
+        except KeyError:
+            raise KfuncError(f"kfunc {name!r} not registered") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kfuncs
+
+    def names(self) -> list[str]:
+        return sorted(self._kfuncs)

@@ -1,0 +1,169 @@
+"""BPF maps: the kernel/userspace data plane.
+
+SnapBPF uses maps twice: the capture program records working-set page
+offsets into a map the VMM later drains, and on restore the VMM loads the
+grouped offset ranges into an array map the prefetch program walks.
+
+Keys and values are fixed-size byte strings, as in the kernel; integer
+convenience accessors (little-endian u32/u64) are provided for userspace
+callers.  In-program access goes through the helper functions and is
+bounds-checked by the verifier against ``value_size``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+class MapError(ValueError):
+    """Bad key/value size, capacity exhausted, or unknown key."""
+
+
+class BpfMap:
+    """Common behaviour: sized keys/values, capacity, byte-level access."""
+
+    KIND = "map"
+
+    def __init__(self, name: str, key_size: int, value_size: int,
+                 max_entries: int):
+        if key_size <= 0 or value_size <= 0 or max_entries <= 0:
+            raise MapError("map dimensions must be positive")
+        self.name = name
+        self.key_size = key_size
+        self.value_size = value_size
+        self.max_entries = max_entries
+
+    # -- subclass interface ---------------------------------------------------
+    def lookup(self, key: bytes) -> bytearray | None:
+        raise NotImplementedError
+
+    def update(self, key: bytes, value: bytes) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: bytes) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def keys(self) -> list[bytes]:
+        raise NotImplementedError
+
+    # -- shared checks ---------------------------------------------------------
+    def _check_key(self, key: bytes) -> bytes:
+        key = bytes(key)
+        if len(key) != self.key_size:
+            raise MapError(
+                f"map {self.name!r}: key size {len(key)} != {self.key_size}")
+        return key
+
+    def _check_value(self, value: bytes) -> bytearray:
+        value = bytearray(value)
+        if len(value) != self.value_size:
+            raise MapError(
+                f"map {self.name!r}: value size {len(value)} != {self.value_size}")
+        return value
+
+    # -- userspace integer conveniences (bpf(2) syscall wrappers) -------------
+    def update_u64s(self, key_u64: int, *values: int) -> None:
+        key = struct.pack("<Q", key_u64)[: self.key_size]
+        if len(key) < self.key_size:
+            key = key.ljust(self.key_size, b"\0")
+        packed = struct.pack(f"<{len(values)}Q", *values)
+        self.update(key, packed.ljust(self.value_size, b"\0"))
+
+    def lookup_u64s(self, key_u64: int) -> tuple[int, ...] | None:
+        key = struct.pack("<Q", key_u64)[: self.key_size]
+        if len(key) < self.key_size:
+            key = key.ljust(self.key_size, b"\0")
+        value = self.lookup(key)
+        if value is None:
+            return None
+        count = self.value_size // 8
+        return struct.unpack(f"<{count}Q", bytes(value[: count * 8]))
+
+    def items_u64(self) -> list[tuple[int, tuple[int, ...]]]:
+        """All entries decoded as (key-as-u64, value-as-u64-tuple)."""
+        out = []
+        for key in self.keys():
+            key_u64 = int.from_bytes(key, "little")
+            value = self.lookup(key)
+            assert value is not None
+            count = self.value_size // 8
+            out.append(
+                (key_u64, struct.unpack(f"<{count}Q", bytes(value[: count * 8]))))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<{type(self).__name__} {self.name!r} key={self.key_size} "
+                f"value={self.value_size} max={self.max_entries} len={len(self)}>")
+
+
+class HashMap(BpfMap):
+    """BPF_MAP_TYPE_HASH: dynamic membership up to max_entries."""
+
+    KIND = "hash"
+
+    def __init__(self, name: str, key_size: int = 8, value_size: int = 8,
+                 max_entries: int = 1 << 20):
+        super().__init__(name, key_size, value_size, max_entries)
+        self._table: dict[bytes, bytearray] = {}
+
+    def lookup(self, key: bytes) -> bytearray | None:
+        return self._table.get(self._check_key(key))
+
+    def update(self, key: bytes, value: bytes) -> None:
+        key = self._check_key(key)
+        if key not in self._table and len(self._table) >= self.max_entries:
+            raise MapError(f"map {self.name!r} full ({self.max_entries} entries)")
+        self._table[key] = self._check_value(value)
+
+    def delete(self, key: bytes) -> None:
+        key = self._check_key(key)
+        if key not in self._table:
+            raise MapError(f"map {self.name!r}: no such key")
+        del self._table[key]
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def keys(self) -> list[bytes]:
+        return list(self._table)
+
+
+class ArrayMap(BpfMap):
+    """BPF_MAP_TYPE_ARRAY: u32-indexed, preallocated, never deletable."""
+
+    KIND = "array"
+
+    def __init__(self, name: str, value_size: int = 8, max_entries: int = 1024):
+        super().__init__(name, key_size=4, value_size=value_size,
+                         max_entries=max_entries)
+        self._slots = [bytearray(value_size) for _ in range(max_entries)]
+
+    def _index(self, key: bytes) -> int | None:
+        key = self._check_key(key)
+        index = struct.unpack("<I", key)[0]
+        return index if index < self.max_entries else None
+
+    def lookup(self, key: bytes) -> bytearray | None:
+        index = self._index(key)
+        return None if index is None else self._slots[index]
+
+    def update(self, key: bytes, value: bytes) -> None:
+        index = self._index(key)
+        if index is None:
+            raise MapError(f"array map {self.name!r}: index out of bounds")
+        self._slots[index][:] = self._check_value(value)
+
+    def delete(self, key: bytes) -> None:
+        raise MapError("array map entries cannot be deleted")
+
+    def __len__(self) -> int:
+        return self.max_entries
+
+    def keys(self) -> list[bytes]:
+        return [struct.pack("<I", i) for i in range(self.max_entries)]

@@ -1,0 +1,26 @@
+"""Guest (VM) kernel model: buddy allocator and PV PTE marking.
+
+The semantic gap the paper's §2.2 describes lives here: the guest kernel
+allocates ephemeral memory from its buddy allocator during an invocation,
+and without help the host cannot tell those allocations apart from
+accesses to snapshotted state — so it wastefully fetches soon-to-be-
+overwritten pages from the snapshot file.
+
+With SnapBPF's paravirtualized marking enabled, the guest sets a high
+"mirror" bit in the PFN when mapping freshly allocated pages, which the
+host KVM detects on the nested fault and serves with anonymous memory
+(see :mod:`repro.kvm`).
+"""
+
+from repro.guest.buddy import BuddyAllocator, GuestOOM
+from repro.guest.kernel import MIRROR_BIT, GuestKernel, is_mirrored, mirror_gfn, unmirror_gfn
+
+__all__ = [
+    "BuddyAllocator",
+    "GuestKernel",
+    "GuestOOM",
+    "MIRROR_BIT",
+    "is_mirrored",
+    "mirror_gfn",
+    "unmirror_gfn",
+]

@@ -1,0 +1,147 @@
+"""Binary buddy allocator over guest page frame numbers.
+
+A faithful power-of-two buddy system: free blocks are kept per order,
+allocation splits larger blocks, freeing coalesces with the buddy when
+both halves are free.  Initialized from the set of guest PFNs that were
+free at snapshot time — the same information Faast's pre-scan extracts
+from the snapshot's allocator metadata (which is why the snapshot
+metadata exposes it; see :mod:`repro.vmm.snapshot`).
+"""
+
+from __future__ import annotations
+
+MAX_ORDER = 10  # 4 MiB blocks, like Linux
+
+
+class GuestOOM(MemoryError):
+    """Guest allocator exhausted."""
+
+
+class BuddyAllocator:
+    """Buddy system over an arbitrary initial set of free PFNs.
+
+    Free blocks per order are kept in a membership set (for buddy
+    coalescing checks) plus a LIFO stack with lazy deletion (for O(1)
+    deterministic allocation even with many thousands of fragments).
+    """
+
+    def __init__(self, free_pfns):
+        self._free_sets: list[set[int]] = [set() for _ in range(MAX_ORDER + 1)]
+        self._free_stacks: list[list[int]] = [[] for _ in range(MAX_ORDER + 1)]
+        self._free_count = 0
+        self._seed_from(sorted(set(free_pfns)))
+
+    def _seed_from(self, pfns: list[int]) -> None:
+        """Greedily build maximal aligned blocks from a sorted PFN list."""
+        i = 0
+        n = len(pfns)
+        while i < n:
+            start = pfns[i]
+            # Longest contiguous run from i.
+            j = i
+            while j + 1 < n and pfns[j + 1] == pfns[j] + 1:
+                j += 1
+            run_len = j - i + 1
+            # Carve the run into maximal aligned power-of-two blocks.
+            pos = start
+            remaining = run_len
+            while remaining > 0:
+                order = MAX_ORDER
+                while order > 0 and ((pos & ((1 << order) - 1)) != 0
+                                     or (1 << order) > remaining):
+                    order -= 1
+                self._push(order, pos)
+                self._free_count += 1 << order
+                pos += 1 << order
+                remaining -= 1 << order
+            i = j + 1
+
+    def _push(self, order: int, pfn: int) -> None:
+        self._free_sets[order].add(pfn)
+        self._free_stacks[order].append(pfn)
+
+    def _pop(self, order: int) -> int | None:
+        """Pop a live block of exactly this order, skipping stale stack
+        entries left behind by coalescing (lazy deletion)."""
+        live = self._free_sets[order]
+        stack = self._free_stacks[order]
+        while stack:
+            pfn = stack.pop()
+            if pfn in live:
+                live.remove(pfn)
+                return pfn
+        return None
+
+    # -- interface ---------------------------------------------------------------
+    @property
+    def free_pages(self) -> int:
+        return self._free_count
+
+    def alloc_block(self, order: int) -> int:
+        """Allocate one 2**order block; returns its first PFN."""
+        if not 0 <= order <= MAX_ORDER:
+            raise ValueError(f"order {order} out of range")
+        for current in range(order, MAX_ORDER + 1):
+            pfn = self._pop(current)
+            if pfn is not None:
+                # Split down to the requested order, freeing upper halves.
+                while current > order:
+                    current -= 1
+                    self._push(current, pfn + (1 << current))
+                self._free_count -= 1 << order
+                return pfn
+        raise GuestOOM(f"no free block of order {order}")
+
+    def alloc_pages(self, npages: int) -> list[int]:
+        """Allocate ``npages`` pages as a list of PFNs (greedy by order)."""
+        if npages <= 0:
+            raise ValueError("npages must be positive")
+        if npages > self._free_count:
+            raise GuestOOM(
+                f"requested {npages} pages, {self._free_count} free")
+        pfns: list[int] = []
+        remaining = npages
+        while remaining > 0:
+            order = min(MAX_ORDER, remaining.bit_length() - 1)
+            # Fall back to smaller orders under fragmentation.
+            while order >= 0:
+                try:
+                    block = self.alloc_block(order)
+                    break
+                except GuestOOM:
+                    order -= 1
+            else:
+                raise GuestOOM("fragmentation prevented allocation")
+            pfns.extend(range(block, block + (1 << order)))
+            remaining -= 1 << order
+        return pfns
+
+    def free_block(self, pfn: int, order: int) -> None:
+        """Free one block, coalescing with free buddies."""
+        if pfn & ((1 << order) - 1):
+            raise ValueError(f"pfn {pfn} misaligned for order {order}")
+        self._free_count += 1 << order
+        while order < MAX_ORDER:
+            buddy = pfn ^ (1 << order)
+            if buddy not in self._free_sets[order]:
+                break
+            # Coalesce: remove the buddy from the live set (its stack
+            # entry goes stale and is skipped lazily).
+            self._free_sets[order].remove(buddy)
+            pfn = min(pfn, buddy)
+            order += 1
+        self._push(order, pfn)
+
+    def free_pages_list(self, pfns: list[int]) -> None:
+        """Free individual pages (coalescing happens via free_block)."""
+        for pfn in pfns:
+            self.free_block(pfn, 0)
+
+    def is_free(self, pfn: int) -> bool:
+        """Whether ``pfn`` currently lies inside any free block."""
+        for order, blocks in enumerate(self._free_sets):
+            size = 1 << order
+            base = pfn & ~(size - 1)
+            if base in blocks:
+                return True
+        return False

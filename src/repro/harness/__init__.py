@@ -1,0 +1,31 @@
+"""Experiment harness: scenario runner + figure/table regeneration."""
+
+from repro.harness.experiment import ResultCache, make_kernel, run_scenario
+from repro.harness.figures import (
+    CONCURRENT_INSTANCES,
+    FigureData,
+    figure_3a,
+    figure_3b,
+    figure_3c,
+    figure_4,
+    overheads,
+    table_1,
+)
+from repro.harness.report import render_figure, render_table, render_table1
+
+__all__ = [
+    "CONCURRENT_INSTANCES",
+    "FigureData",
+    "ResultCache",
+    "figure_3a",
+    "figure_3b",
+    "figure_3c",
+    "figure_4",
+    "make_kernel",
+    "overheads",
+    "render_figure",
+    "render_table",
+    "render_table1",
+    "run_scenario",
+    "table_1",
+]

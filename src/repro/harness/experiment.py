@@ -1,0 +1,152 @@
+"""Scenario runner.
+
+One scenario = one cold-start measurement: build a fresh simulated host,
+let the approach record the function's working set (offline), drop the
+page cache and reset counters, then spawn ``n_instances`` sandboxes at
+the same instant (the paper's concurrent-invocation setup, identical
+inputs) and measure per-sandbox E2E latency and system-wide peak memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.base import Approach, approach_registry
+from repro.metrics.results import ScenarioResult
+from repro.mm.costs import CostModel
+from repro.mm.kernel import Kernel
+from repro.sim import Environment
+from repro.storage.hdd import HDDevice
+from repro.storage.ssd import SSDevice
+from repro.units import GIB
+from repro.workloads.profile import FunctionProfile
+from repro.workloads.trace import generate_trace
+
+
+def make_kernel(device_kind: str = "ssd", ram_bytes: int = 256 * GIB,
+                costs: CostModel | None = None) -> Kernel:
+    """Fresh host with the requested storage device."""
+    env = Environment()
+    if device_kind == "ssd":
+        device = SSDevice(env)
+    elif device_kind == "hdd":
+        device = HDDevice(env)
+    else:
+        raise ValueError(f"unknown device kind {device_kind!r}")
+    return Kernel(env=env, device=device, ram_bytes=ram_bytes, costs=costs)
+
+
+def run_scenario(profile: FunctionProfile,
+                 approach_factory: Callable[[Kernel], Approach] | str,
+                 n_instances: int = 1,
+                 input_seed: int = 0,
+                 vary_inputs: bool = False,
+                 device_kind: str = "ssd",
+                 costs: CostModel | None = None,
+                 kernel: Kernel | None = None) -> ScenarioResult:
+    """Run one (function, approach, concurrency) scenario; see module doc.
+
+    ``vary_inputs=True`` gives every concurrent instance a *different*
+    input (trace seed), instead of the paper's identical-inputs setup —
+    the varying-inputs deduplication study the paper leaves to future
+    work.  The record phase always uses ``input_seed``.
+    """
+    if isinstance(approach_factory, str):
+        approach_factory = approach_registry()[approach_factory]
+    kernel = kernel or make_kernel(device_kind, costs=costs)
+    env = kernel.env
+    approach = approach_factory(kernel)
+    trace = generate_trace(profile, input_seed)
+
+    # -- offline record phase -----------------------------------------------------
+    prep_start = env.now
+    prep = env.process(approach.prepare(profile, trace), name="prepare")
+    env.run(prep)
+    prepare_seconds = env.now - prep_start
+
+    # -- cold-start reset ------------------------------------------------------------
+    kernel.drop_caches()
+    kernel.device.reset_stats()
+    kernel.frames.reset_peak()
+    cache_adds_before = kernel.page_cache.stats.adds
+    hook_seconds_before = kernel.page_cache.stats.bpf_hook_seconds
+
+    # -- timed concurrent invocations --------------------------------------------------
+    vms: list = []
+
+    def one_instance(index: int):
+        vm = yield from approach.spawn(profile, vm_id=f"vm{index}")
+        vms.append(vm)
+        instance_trace = trace
+        if vary_inputs and index > 0:
+            instance_trace = generate_trace(profile, input_seed + index)
+        stats = yield from vm.invoke(instance_trace)
+        return stats
+
+    processes = [env.process(one_instance(i), name=f"instance-{i}")
+                 for i in range(n_instances)]
+    done = env.all_of(processes)
+    env.run(done)
+
+    result = ScenarioResult(
+        function=profile.name,
+        approach=approach.name,
+        n_instances=n_instances,
+        invocations=[p.value for p in processes],
+        peak_memory_bytes=kernel.frames.peak_bytes,
+        end_memory_bytes=kernel.memory_in_use_bytes(),
+        device_requests=kernel.device.stats.requests,
+        device_bytes_read=kernel.device.stats.bytes_read,
+        device_bytes_written=kernel.device.stats.bytes_written,
+        cache_adds=kernel.page_cache.stats.adds - cache_adds_before,
+        bpf_hook_seconds=(kernel.page_cache.stats.bpf_hook_seconds
+                          - hook_seconds_before),
+        prepare_seconds=prepare_seconds,
+    )
+    _collect_extras(approach, result)
+    for vm in vms:
+        approach.post_invoke(vm)
+        vm.teardown()
+    return result
+
+
+def _collect_extras(approach: Approach, result: ScenarioResult) -> None:
+    """Approach-specific metrics surfaced to the ablation benches."""
+    for attr, key in (
+        ("working_set_pages", "ws_pages"),
+        ("ws_file_pages", "ws_file_pages"),
+        ("ws_pages_exact", "ws_pages_exact"),
+        ("inflation_ratio", "inflation_ratio"),
+        ("region_count", "region_count"),
+        ("captured_pages", "captured_pages"),
+        ("metadata_bytes", "metadata_bytes"),
+    ):
+        value = getattr(approach, attr, None)
+        if value is not None:
+            result.extra[key] = float(value)
+    map_loads = getattr(approach, "map_load_seconds", None)
+    if map_loads:
+        result.extra["map_load_seconds"] = (
+            sum(map_loads.values()) / len(map_loads))
+
+
+class ResultCache:
+    """Memoizes scenario runs across figure builders (3b and 3c share
+    every run, for instance)."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, ScenarioResult] = {}
+
+    def get(self, profile: FunctionProfile, approach_name: str,
+            n_instances: int = 1, input_seed: int = 0,
+            device_kind: str = "ssd") -> ScenarioResult:
+        key = (profile.name, approach_name, n_instances, input_seed,
+               device_kind)
+        if key not in self._cache:
+            self._cache[key] = run_scenario(
+                profile, approach_name, n_instances=n_instances,
+                input_seed=input_seed, device_kind=device_kind)
+        return self._cache[key]
+
+    def __len__(self) -> int:
+        return len(self._cache)

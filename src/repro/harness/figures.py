@@ -1,0 +1,159 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each builder returns a :class:`FigureData`: ordered function names,
+series (one per approach), and the values the paper plots.  A shared
+:class:`~repro.harness.experiment.ResultCache` lets Figure 3b and 3c
+reuse the same concurrent runs, exactly as the paper measures latency
+and memory from one experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import approach_registry
+from repro.harness.experiment import ResultCache
+from repro.metrics.results import ScenarioResult
+from repro.units import GIB
+from repro.workloads.profile import FUNCTIONS, FunctionProfile
+
+# Ensure all approaches (incl. repro.core's) are registered on import.
+import repro.baselines  # noqa: F401
+import repro.core  # noqa: F401
+
+#: Number of concurrent instances in the Figure 3b/3c experiments.
+CONCURRENT_INSTANCES = 10
+
+
+@dataclass
+class FigureData:
+    """One regenerated figure: functions x series -> value."""
+
+    figure: str
+    ylabel: str
+    functions: list[str]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def value(self, function: str, series: str) -> float:
+        return self.series[series][self.functions.index(function)]
+
+    def as_rows(self) -> list[list[str]]:
+        header = ["function"] + list(self.series)
+        rows = [header]
+        for i, function in enumerate(self.functions):
+            rows.append([function] + [f"{self.series[s][i]:.3f}"
+                                      for s in self.series])
+        return rows
+
+
+def _profiles(functions) -> list[FunctionProfile]:
+    if functions is None:
+        return list(FUNCTIONS)
+    by_name = {p.name: p for p in FUNCTIONS}
+    return [p if isinstance(p, FunctionProfile) else by_name[p]
+            for p in functions]
+
+
+def figure_3a(cache: ResultCache | None = None,
+              functions=None) -> FigureData:
+    """Fig. 3a: E2E latency (s), single instance: REAP / FaaSnap / SnapBPF."""
+    cache = cache or ResultCache()
+    profiles = _profiles(functions)
+    data = FigureData(figure="3a", ylabel="E2E latency (s)",
+                      functions=[p.name for p in profiles])
+    for approach in ("reap", "faasnap", "snapbpf"):
+        data.series[approach] = [
+            cache.get(p, approach, n_instances=1).mean_e2e for p in profiles]
+    return data
+
+
+def figure_3b(cache: ResultCache | None = None, functions=None,
+              normalize: bool = True) -> FigureData:
+    """Fig. 3b: E2E latency, 10 concurrent instances, normalized to
+    Linux-NoRA: Linux-NoRA / Linux-RA / REAP / SnapBPF."""
+    cache = cache or ResultCache()
+    profiles = _profiles(functions)
+    approaches = ("linux-nora", "linux-ra", "reap", "snapbpf")
+    raw = {a: [cache.get(p, a, n_instances=CONCURRENT_INSTANCES).mean_e2e
+               for p in profiles] for a in approaches}
+    data = FigureData(
+        figure="3b",
+        ylabel=("E2E latency (normalized to Linux-NoRA)"
+                if normalize else "E2E latency (s)"),
+        functions=[p.name for p in profiles],
+        notes=f"{CONCURRENT_INSTANCES} concurrent instances, "
+              f"identical inputs")
+    for approach in approaches:
+        if normalize:
+            data.series[approach] = [
+                raw[approach][i] / raw["linux-nora"][i]
+                for i in range(len(profiles))]
+        else:
+            data.series[approach] = raw[approach]
+    return data
+
+
+def figure_3c(cache: ResultCache | None = None, functions=None) -> FigureData:
+    """Fig. 3c: system-wide memory (GiB), 10 concurrent instances."""
+    cache = cache or ResultCache()
+    profiles = _profiles(functions)
+    data = FigureData(
+        figure="3c", ylabel="Memory consumption (GiB)",
+        functions=[p.name for p in profiles],
+        notes=f"{CONCURRENT_INSTANCES} concurrent instances")
+    for approach in ("linux-nora", "linux-ra", "reap", "snapbpf"):
+        data.series[approach] = [
+            cache.get(p, approach,
+                      n_instances=CONCURRENT_INSTANCES).peak_memory_bytes / GIB
+            for p in profiles]
+    return data
+
+
+def figure_4(cache: ResultCache | None = None, functions=None) -> FigureData:
+    """Fig. 4: breakdown — normalized E2E latency of Linux-RA (baseline),
+    PV PTE marking alone, and full SnapBPF (PV + eBPF prefetch)."""
+    cache = cache or ResultCache()
+    profiles = _profiles(functions)
+    approaches = ("linux-ra", "pv-ptes", "snapbpf")
+    raw = {a: [cache.get(p, a, n_instances=1).mean_e2e for p in profiles]
+           for a in approaches}
+    data = FigureData(
+        figure="4", ylabel="Normalized E2E latency (Linux-RA = 1.0)",
+        functions=[p.name for p in profiles],
+        notes="single instance; lower is better")
+    for approach in approaches:
+        data.series[approach] = [raw[approach][i] / raw["linux-ra"][i]
+                                 for i in range(len(profiles))]
+    return data
+
+
+def overheads(cache: ResultCache | None = None, functions=None) -> FigureData:
+    """§4 'SnapBPF Overheads': offset-load (eBPF map) latency, absolute
+    (ms) and as a fraction of E2E latency."""
+    cache = cache or ResultCache()
+    profiles = _profiles(functions)
+    data = FigureData(
+        figure="overheads",
+        ylabel="offset-load latency",
+        functions=[p.name for p in profiles],
+        notes="map-load ms and fraction of E2E; paper: ~1-2 ms, <1%")
+    load_ms, frac = [], []
+    for p in profiles:
+        result = cache.get(p, "snapbpf", n_instances=1)
+        load = result.extra.get("map_load_seconds", 0.0)
+        load_ms.append(load * 1e3)
+        frac.append(load / result.mean_e2e if result.mean_e2e else 0.0)
+    data.series["map_load_ms"] = load_ms
+    data.series["fraction_of_e2e"] = frac
+    return data
+
+
+def table_1() -> list[dict[str, str]]:
+    """Table 1: the mechanism comparison, generated from the approach
+    implementations themselves."""
+    registry = approach_registry()
+    rows = []
+    for name in ("reap", "faast", "faasnap", "snapbpf"):
+        rows.append(registry[name].table1_row())
+    return rows

@@ -1,0 +1,14 @@
+"""KVM model: nested page tables and the host side of PV PTE marking.
+
+Implements the host hypervisor pieces §3.2 and the §4 CoW anecdote rely
+on: EPT-style nested page tables, nested fault handling that resolves
+through the VMM's host address space, detection of mirrored (PV-marked)
+guest PFNs served from anonymous memory, and the forced-write-mapping
+misbehaviour that the paper's KVM patch replaces with opportunistic
+write mapping.
+"""
+
+from repro.kvm.kvm import KVM, EptEntry
+from repro.kvm.vcpu import VCpu
+
+__all__ = ["EptEntry", "KVM", "VCpu"]

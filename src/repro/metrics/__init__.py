@@ -1,0 +1,5 @@
+"""Result types for experiments."""
+
+from repro.metrics.results import ScenarioResult, summarize
+
+__all__ = ["ScenarioResult", "summarize"]

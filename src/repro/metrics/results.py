@@ -1,0 +1,72 @@
+"""Scenario-level measurement results.
+
+One :class:`ScenarioResult` corresponds to one bar (or bar group) of a
+paper figure: a (function, approach, concurrency) triple run on a fresh
+simulated host, reporting per-sandbox end-to-end latencies, system-wide
+peak memory, and the device/cache counters used by the I/O-amplification
+analyses.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.units import GIB
+
+from repro.vmm.microvm import InvocationStats
+
+
+@dataclass
+class ScenarioResult:
+    function: str
+    approach: str
+    n_instances: int
+    invocations: list[InvocationStats] = field(default_factory=list)
+    #: System-wide peak memory during the concurrent invocations.
+    peak_memory_bytes: int = 0
+    #: Memory still resident when all invocations completed.
+    end_memory_bytes: int = 0
+    #: Block-device counters over the invocation phase.
+    device_requests: int = 0
+    device_bytes_read: int = 0
+    device_bytes_written: int = 0
+    #: Page-cache counters over the invocation phase.
+    cache_adds: int = 0
+    bpf_hook_seconds: float = 0.0
+    #: Offline record-phase duration (not part of E2E).
+    prepare_seconds: float = 0.0
+    #: Approach-specific extras (WS sizes, inflation ratios, ...).
+    extra: dict[str, float] = field(default_factory=dict)
+
+    # -- summaries ----------------------------------------------------------------
+    @property
+    def e2e_latencies(self) -> list[float]:
+        return [inv.e2e_seconds for inv in self.invocations]
+
+    @property
+    def mean_e2e(self) -> float:
+        return statistics.fmean(self.e2e_latencies)
+
+    @property
+    def max_e2e(self) -> float:
+        return max(self.e2e_latencies)
+
+    @property
+    def peak_memory_gib(self) -> float:
+        return self.peak_memory_bytes / GIB
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (f"{self.function}/{self.approach} x{self.n_instances}: "
+                f"mean E2E {self.mean_e2e * 1e3:.1f} ms, "
+                f"peak mem {self.peak_memory_gib:.2f} GiB, "
+                f"{self.device_requests} I/O reqs")
+
+
+def summarize(results: list[ScenarioResult]) -> dict[str, dict[str, float]]:
+    """{function: {approach: mean_e2e}} pivot used by the figure builders."""
+    table: dict[str, dict[str, float]] = {}
+    for result in results:
+        table.setdefault(result.function, {})[result.approach] = (
+            result.mean_e2e)
+    return table

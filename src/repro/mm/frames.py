@@ -1,0 +1,134 @@
+"""Physical memory frames and their accounting.
+
+Figure 3c of the paper is a statement about frames: userfaultfd installs
+*anonymous* frames that every sandbox owns privately, while page-cache
+mappings share one *file* frame across all sandboxes of a function.  The
+allocator therefore tracks the two kinds separately, attributes anonymous
+frames to owners (VM ids), and keeps a high-water mark that the memory
+experiments report.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.units import PAGE_SIZE
+
+ANON = "anon"
+FILE = "file"
+
+
+class OutOfMemory(MemoryError):
+    """Frame pool exhausted and reclaim could not free enough."""
+
+
+@dataclass
+class Frame:
+    """One physical 4 KiB frame."""
+
+    pfn: int
+    kind: str
+    content: int = 0
+    #: Identity of the cached file page, for FILE frames.
+    ino: int | None = None
+    index: int | None = None
+    #: Number of PTEs (host or nested) referencing this frame.
+    mapcount: int = 0
+    #: Owner tag for ANON frames (VM / process id) — memory attribution.
+    owner: str | None = None
+
+
+@dataclass
+class MemoryCounters:
+    """Point-in-time usage, in frames."""
+
+    anon: int = 0
+    file: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.anon + self.file
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total * PAGE_SIZE
+
+
+class FrameAllocator:
+    """Fixed-size pool of frames with kind/owner accounting.
+
+    ``peak`` tracks the maximum total frames in use since the last
+    :meth:`reset_peak`; the concurrent-invocation experiments reset it
+    before spawning sandboxes and read it afterwards.
+    """
+
+    def __init__(self, total_frames: int):
+        if total_frames <= 0:
+            raise ValueError("frame pool must be positive")
+        self.total_frames = total_frames
+        self.counters = MemoryCounters()
+        self.peak_frames = 0
+        self._next_pfn = itertools.count()
+        self._per_owner: dict[str, int] = {}
+
+    # -- allocation -----------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return self.counters.total
+
+    @property
+    def free_frames(self) -> int:
+        return self.total_frames - self.in_use
+
+    def alloc(self, kind: str, content: int = 0, ino: int | None = None,
+              index: int | None = None, owner: str | None = None) -> Frame:
+        if kind not in (ANON, FILE):
+            raise ValueError(f"unknown frame kind {kind!r}")
+        if self.free_frames <= 0:
+            raise OutOfMemory(
+                f"no free frames ({self.total_frames} total in use)")
+        frame = Frame(pfn=next(self._next_pfn), kind=kind, content=content,
+                      ino=ino, index=index, owner=owner)
+        if kind == ANON:
+            self.counters.anon += 1
+            if owner is not None:
+                self._per_owner[owner] = self._per_owner.get(owner, 0) + 1
+        else:
+            self.counters.file += 1
+        self.peak_frames = max(self.peak_frames, self.in_use)
+        return frame
+
+    def free(self, frame: Frame) -> None:
+        if frame.mapcount != 0:
+            raise ValueError(
+                f"freeing frame pfn={frame.pfn} with mapcount "
+                f"{frame.mapcount}")
+        if frame.kind == ANON:
+            self.counters.anon -= 1
+            if frame.owner is not None:
+                remaining = self._per_owner.get(frame.owner, 0) - 1
+                if remaining > 0:
+                    self._per_owner[frame.owner] = remaining
+                else:
+                    self._per_owner.pop(frame.owner, None)
+        else:
+            self.counters.file -= 1
+        if self.counters.anon < 0 or self.counters.file < 0:
+            raise ValueError("double free detected")
+
+    # -- reporting ------------------------------------------------------------
+    def owner_frames(self, owner: str) -> int:
+        """Anonymous frames currently attributed to ``owner``."""
+        return self._per_owner.get(owner, 0)
+
+    def reset_peak(self) -> None:
+        self.peak_frames = self.in_use
+
+    @property
+    def peak_bytes(self) -> int:
+        return self.peak_frames * PAGE_SIZE
+
+    def usage(self) -> MemoryCounters:
+        return MemoryCounters(anon=self.counters.anon,
+                              file=self.counters.file)

@@ -1,0 +1,66 @@
+"""The aggregate simulated host kernel.
+
+One :class:`Kernel` is one machine: a DES environment, a block device
+with a file store on it, a physical frame pool, the page cache wired to
+the eBPF kprobe runtime, and factories for address spaces and
+userfaultfds.  Approaches (SnapBPF and the baselines) and the VMM layer
+are all built against this object.
+"""
+
+from __future__ import annotations
+
+from repro.ebpf.interp import Interpreter
+from repro.ebpf.kfunc import KfuncRegistry
+from repro.ebpf.kprobe import KprobeManager
+from repro.mm.address_space import AddressSpace
+from repro.mm.costs import CostModel
+from repro.mm.frames import FrameAllocator
+from repro.mm.page_cache import PageCache
+from repro.mm.userfaultfd import Uffd
+from repro.sim import Environment
+from repro.storage.device import BlockDevice
+from repro.storage.filestore import FileStore
+from repro.storage.ssd import SSDevice
+from repro.units import GIB, PAGE_SIZE
+
+
+class Kernel:
+    """A simulated Linux host (paper testbed: 2-socket EPYC, 256 GiB)."""
+
+    def __init__(self, env: Environment | None = None,
+                 device: BlockDevice | None = None,
+                 ram_bytes: int = 256 * GIB,
+                 costs: CostModel | None = None):
+        self.env = env or Environment()
+        self.costs = costs or CostModel()
+        self.device = device or SSDevice(self.env)
+        self.filestore = FileStore(self.env, self.device)
+        self.frames = FrameAllocator(total_frames=ram_bytes // PAGE_SIZE)
+        self.kfuncs = KfuncRegistry()
+        self.interpreter = Interpreter(
+            kfuncs=self.kfuncs,
+            time_ns=lambda: int(self.env.now * 1e9))
+        self.kprobes = KprobeManager(kfuncs=self.kfuncs,
+                                     interpreter=self.interpreter)
+        self.page_cache = PageCache(self.env, self.frames, self.filestore,
+                                    self.kprobes,
+                                    insert_cost=self.costs.cache_insert)
+
+    # -- factories ---------------------------------------------------------------
+    def spawn_space(self, owner: str | None = None) -> AddressSpace:
+        return AddressSpace(self, owner=owner)
+
+    def new_uffd(self) -> Uffd:
+        return Uffd(self.env)
+
+    # -- administration -------------------------------------------------------------
+    def drop_caches(self) -> int:
+        """Drop clean page cache between experiment rounds (cold starts)."""
+        return self.page_cache.drop_caches()
+
+    def memory_in_use_bytes(self) -> int:
+        return self.frames.in_use * PAGE_SIZE
+
+    def run(self, until=None):
+        """Convenience passthrough to the DES engine."""
+        return self.env.run(until)

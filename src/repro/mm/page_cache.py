@@ -1,0 +1,266 @@
+"""The OS page cache.
+
+Two functions here are the paper's whole attack surface:
+
+* :meth:`PageCache.add_to_page_cache_lru` — every page entering the cache
+  passes through it, and it fires the kprobe hook of the same name with
+  ``(ino, page index)`` as the BPF context.  SnapBPF's capture program
+  records working sets from exactly this vantage point.
+* :meth:`PageCache.page_cache_ra_unbounded` — the batch read routine that
+  readahead uses; SnapBPF's ``snapbpf_prefetch`` kfunc wraps it so a BPF
+  program can prefetch snapshot ranges *into the page cache*, where they
+  are shared by every sandbox of the function (in-memory deduplication).
+
+Pages under I/O are "locked": they are present in the cache with
+``uptodate == False`` and an event that concurrent faulters wait on — the
+mechanism by which ten concurrent sandboxes end up doing one disk read.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.ebpf.kprobe import KprobeManager
+from repro.mm.frames import FILE, FrameAllocator, OutOfMemory
+from repro.sim import Environment, Event
+from repro.storage.device import PRIO_READAHEAD
+from repro.storage.filestore import File, FileStore
+
+HOOK_ADD_TO_PAGE_CACHE = "add_to_page_cache_lru"
+HOOK_CTX_SIZE = 16  # (u64 ino, u64 index)
+
+
+@dataclass
+class CacheEntry:
+    """One cached file page."""
+
+    ino: int
+    index: int
+    frame: object
+    uptodate: bool = False
+    #: Fires when the filling I/O completes; None once uptodate.
+    io_event: Event | None = None
+    #: PG_readahead: touching this page triggers the next async window.
+    ra_marker: bool = False
+
+    @property
+    def locked(self) -> bool:
+        return not self.uptodate
+
+
+@dataclass
+class CacheStats:
+    adds: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bpf_hook_seconds: float = 0.0
+
+
+class PageCache:
+    """Radix-tree-like map of (ino, index) -> CacheEntry with LRU reclaim."""
+
+    def __init__(self, env: Environment, frames: FrameAllocator,
+                 filestore: FileStore, kprobes: KprobeManager,
+                 insert_cost: float = 0.15e-6):
+        self.env = env
+        self.frames = frames
+        self.filestore = filestore
+        self.kprobes = kprobes
+        self.insert_cost = insert_cost
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple[int, int], CacheEntry] = OrderedDict()
+        if HOOK_ADD_TO_PAGE_CACHE not in getattr(kprobes, "_hooks", {}):
+            kprobes.declare_hook(HOOK_ADD_TO_PAGE_CACHE, HOOK_CTX_SIZE)
+
+    # -- lookup ---------------------------------------------------------------
+    def lookup(self, ino: int, index: int) -> CacheEntry | None:
+        entry = self._entries.get((ino, index))
+        if entry is not None:
+            self._entries.move_to_end((ino, index))
+        return entry
+
+    def resident(self, ino: int, index: int) -> bool:
+        """mincore()'s view: present and uptodate."""
+        entry = self._entries.get((ino, index))
+        return entry is not None and entry.uptodate
+
+    def cached_pages(self, ino: int | None = None) -> int:
+        if ino is None:
+            return len(self._entries)
+        return sum(1 for (e_ino, _i) in self._entries if e_ino == ino)
+
+    # -- insertion (the kprobe hook point) -------------------------------------
+    def add_to_page_cache_lru(self, file: File, index: int) -> tuple[CacheEntry, float]:
+        """Insert a locked page for (file, index); fires the kprobe.
+
+        Returns the new entry and the CPU seconds consumed (BPF programs
+        attached to the hook run synchronously on this path).
+        """
+        key = (file.ino, index)
+        if key in self._entries:
+            raise ValueError(f"page {key} already in cache")
+        try:
+            frame = self.frames.alloc(FILE, ino=file.ino, index=index)
+        except OutOfMemory:
+            self._reclaim(1)
+            frame = self.frames.alloc(FILE, ino=file.ino, index=index)
+        entry = CacheEntry(ino=file.ino, index=index, frame=frame,
+                           io_event=self.env.event())
+        self._entries[key] = entry
+        self.stats.adds += 1
+        cost = self.kprobes.fire(HOOK_ADD_TO_PAGE_CACHE,
+                                 struct.pack("<QQ", file.ino, index))
+        self.stats.bpf_hook_seconds += cost
+        return entry, cost + self.insert_cost
+
+    # -- population -------------------------------------------------------------
+    def populate(self, file: File, start: int, count: int,
+                 marker: int | None = None,
+                 prio: int = 0) -> tuple[float, list[CacheEntry]]:
+        """Insert all absent pages of [start, start+count) and start their I/O.
+
+        Non-blocking: device reads are issued per contiguous absent run
+        and completion callbacks mark the entries uptodate.  Returns the
+        CPU cost (allocations + hook executions) and the new entries.
+        Waiters use each entry's ``io_event``.
+        """
+        if count <= 0:
+            return 0.0, []
+        if start < 0 or start + count > file.size_pages:
+            raise IndexError(
+                f"populate [{start}, {start + count}) outside {file.name!r}")
+        cost = 0.0
+        new_entries: list[CacheEntry] = []
+        run: list[CacheEntry] = []
+        run_start = None
+        for index in range(start, start + count):
+            present = (file.ino, index) in self._entries
+            if not present:
+                entry, add_cost = self.add_to_page_cache_lru(file, index)
+                cost += add_cost
+                new_entries.append(entry)
+                if marker is not None and index == marker:
+                    entry.ra_marker = True
+                if run_start is None:
+                    run_start = index
+                run.append(entry)
+            elif run:
+                self._issue(file, run_start, run, prio)
+                run, run_start = [], None
+        if run:
+            self._issue(file, run_start, run, prio)
+        return cost, new_entries
+
+    def _issue(self, file: File, run_start: int, entries: list[CacheEntry],
+               prio: int = 0) -> None:
+        completion = self.filestore.read_pages(file, run_start, len(entries),
+                                               prio=prio)
+        # A failed read is handled here (pages dropped, waiters told), so
+        # the engine must not treat it as an unobserved error.
+        completion._defused = True
+        completion.callbacks.append(
+            lambda ev, file=file, entries=tuple(entries): self._io_done(
+                file, entries, ev))
+
+    def _io_done(self, file: File, entries: tuple[CacheEntry, ...],
+                 completion: Event) -> None:
+        if not completion.ok:
+            self._io_failed(entries, completion.value)
+            return
+        for entry in entries:
+            entry.frame.content = file.content(entry.index)
+            entry.uptodate = True
+            event = entry.io_event
+            entry.io_event = None
+            if event is not None:
+                event.succeed(entry)
+
+    def _io_failed(self, entries: tuple[CacheEntry, ...],
+                   error: BaseException) -> None:
+        """Media error: drop the never-uptodate pages so later faults
+        retry, and surface EIO (SIGBUS-style) to current waiters."""
+        for entry in entries:
+            self._entries.pop((entry.ino, entry.index), None)
+            self.frames.free(entry.frame)
+            event = entry.io_event
+            entry.io_event = None
+            if event is not None:
+                # Like a failed readahead in Linux, an error nobody is
+                # waiting on is dropped silently; waiters see EIO.
+                event._defused = True
+                event.fail(error)
+
+    # -- readahead core (what snapbpf_prefetch wraps) ----------------------------
+    def page_cache_ra_unbounded(self, file: File, start: int,
+                                count: int) -> float:
+        """Asynchronously fetch [start, start+count) into the cache.
+
+        This is the routine the paper's kfunc wraps: it inserts absent
+        pages and issues their block reads without waiting for them.
+        Clips to the file size (callers pass raw offsets from BPF maps).
+        """
+        start = max(0, start)
+        count = min(count, file.size_pages - start)
+        if count <= 0:
+            return 0.0
+        # Readahead-class I/O: demand (fault) reads overtake it in the
+        # device queue, exactly so that a sync fault is not stuck behind
+        # a long prefetch stream.
+        cost, _entries = self.populate(file, start, count,
+                                       prio=PRIO_READAHEAD)
+        return cost
+
+    # -- blocking reads (buffered read() path) -----------------------------------
+    def read_range(self, file: File, start: int, count: int):
+        """Generator: ensure [start, start+count) uptodate; returns CPU cost.
+
+        Models the page-cache side of a buffered ``read()`` — the caller
+        separately charges its copy-to-userspace cost.
+        """
+        cost, _new = self.populate(file, start, count)
+        for index in range(start, start + count):
+            entry = self._entries.get((file.ino, index))
+            if entry is None:
+                raise RuntimeError(f"page ({file.ino}, {index}) evicted "
+                                   f"while reading")
+            if not entry.uptodate:
+                yield entry.io_event
+        return cost
+
+    # -- reclaim -----------------------------------------------------------------
+    def _reclaim(self, need: int) -> None:
+        """Evict clean, unmapped, uptodate pages from the LRU head."""
+        freed = 0
+        for key in list(self._entries):
+            if freed >= need:
+                break
+            entry = self._entries[key]
+            if entry.uptodate and entry.frame.mapcount == 0:
+                del self._entries[key]
+                self.frames.free(entry.frame)
+                self.stats.evictions += 1
+                freed += 1
+        if freed < need:
+            raise OutOfMemory("page cache reclaim could not free enough "
+                              "frames (all pages mapped or under I/O)")
+
+    def drop_caches(self) -> int:
+        """Drop every clean unmapped page (echo 1 > drop_caches); returns count."""
+        dropped = 0
+        for key in list(self._entries):
+            entry = self._entries[key]
+            if entry.uptodate and entry.frame.mapcount == 0:
+                del self._entries[key]
+                self.frames.free(entry.frame)
+                dropped += 1
+        return dropped
+
+    def forget(self, entry: CacheEntry) -> None:
+        """Remove one entry (truncate path); must be unmapped and uptodate."""
+        if entry.frame.mapcount != 0 or not entry.uptodate:
+            raise ValueError("cannot forget a mapped or in-flight page")
+        del self._entries[(entry.ino, entry.index)]
+        self.frames.free(entry.frame)

@@ -1,0 +1,75 @@
+"""userfaultfd: userspace page-fault delegation.
+
+The REAP/Faast baselines register the sandbox's guest-memory VMA with a
+uffd; missing-page faults are queued as messages to a userspace handler
+thread, which resolves them with ``UFFDIO_COPY`` — installing a freshly
+allocated **anonymous** page whose contents it copied from the snapshot.
+
+The paper's Table 1 limitation falls straight out of this design: the
+installed pages are anonymous and private to the faulting address space,
+so concurrent sandboxes of the same function can never share them
+(no in-memory working-set deduplication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim import Environment, Event, Store
+
+
+@dataclass
+class UffdMsg:
+    """One fault notification delivered to the userspace handler."""
+
+    vpn: int
+    write: bool
+    #: Fires when the handler resolves the fault (UFFDIO_COPY wakeup).
+    wake: Event = None  # type: ignore[assignment]
+
+
+class Uffd:
+    """One userfaultfd instance (per-VMM in the baselines)."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._queue: Store = Store(env)
+        #: In-flight faults: vpn -> wake event (dedups concurrent faulters).
+        self._pending: dict[int, Event] = {}
+        self.faults_delivered = 0
+
+    # -- kernel side ------------------------------------------------------------
+    def notify(self, vpn: int, write: bool) -> Event:
+        """Queue a fault for ``vpn`` (or join an in-flight one); returns
+        the event the faulting thread must wait on."""
+        wake = self._pending.get(vpn)
+        if wake is not None:
+            return wake
+        wake = self.env.event()
+        self._pending[vpn] = wake
+        self._queue.put(UffdMsg(vpn=vpn, write=write, wake=wake))
+        self.faults_delivered += 1
+        return wake
+
+    @property
+    def pending_vpns(self) -> list[int]:
+        return sorted(self._pending)
+
+    # -- userspace side -----------------------------------------------------------
+    def read(self) -> Event:
+        """Next fault message (blocking read on the uffd fd)."""
+        return self._queue.get()
+
+    def resolve(self, vpn: int) -> None:
+        """Wake everyone waiting on ``vpn`` (the UFFDIO_COPY wakeup step).
+
+        The caller must have installed the page mapping first.  Unknown
+        vpns are fine — handlers may preemptively install pages that no
+        one has faulted on yet.
+        """
+        wake = self._pending.pop(vpn, None)
+        if wake is not None:
+            wake.succeed()
+
+    def is_pending(self, vpn: int) -> bool:
+        return vpn in self._pending

@@ -1,0 +1,197 @@
+"""A serverless node: many functions, one host kernel, shared page cache.
+
+The node owns one prefetching approach *instance per function* (each
+instance holds that function's snapshot and record-phase artifacts) on a
+single shared kernel, so concurrent sandboxes of different functions
+compete for the same page cache and device — the cross-function
+interference a single-scenario run cannot show.
+
+Warm pooling: after an invocation the sandbox can be parked for
+``warm_pool_ttl`` seconds; a request finding a parked sandbox gets a
+*warm start* (no restore, EPT already populated) and only pool misses
+pay the cold-start path under test.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.baselines.base import Approach, approach_registry
+from repro.mm.kernel import Kernel
+from repro.platform.workload import Arrival, MemorySample
+from repro.units import USEC
+from repro.vmm.microvm import MicroVM
+from repro.workloads.profile import FunctionProfile
+from repro.workloads.trace import generate_trace
+
+#: Unpausing a parked sandbox (firecracker resume).
+WARM_RESUME_SECONDS = 400 * USEC
+
+
+@dataclass
+class RequestResult:
+    """Outcome of one request against the node."""
+
+    function: str
+    arrival_time: float
+    latency: float
+    cold: bool
+    input_seed: int
+
+
+@dataclass
+class NodeReport:
+    """Aggregate outcome of a workload run."""
+
+    results: list[RequestResult]
+    memory_timeline: list[MemorySample]
+    peak_memory_bytes: int
+
+    def latencies(self, cold: bool | None = None) -> list[float]:
+        return [r.latency for r in self.results
+                if cold is None or r.cold == cold]
+
+    @property
+    def cold_starts(self) -> int:
+        return sum(1 for r in self.results if r.cold)
+
+    @property
+    def warm_starts(self) -> int:
+        return len(self.results) - self.cold_starts
+
+    def percentile(self, p: float, cold: bool | None = None) -> float:
+        values = sorted(self.latencies(cold))
+        if not values:
+            raise ValueError("no matching requests")
+        index = min(len(values) - 1, int(p / 100 * len(values)))
+        return values[index]
+
+    def mean_latency(self, cold: bool | None = None) -> float:
+        return statistics.fmean(self.latencies(cold))
+
+
+class FaaSNode:
+    """One host serving a mix of functions with one restore approach."""
+
+    def __init__(self, kernel: Kernel,
+                 approach_factory: Callable[[Kernel], Approach] | str,
+                 profiles: list[FunctionProfile],
+                 warm_pool_ttl: float | None = None):
+        if isinstance(approach_factory, str):
+            approach_factory = approach_registry()[approach_factory]
+        self.kernel = kernel
+        self.profiles = {p.name: p for p in profiles}
+        self.approaches: dict[str, Approach] = {
+            p.name: approach_factory(kernel) for p in profiles}
+        self.warm_pool_ttl = warm_pool_ttl
+        self._pool: dict[str, list[MicroVM]] = {p.name: [] for p in profiles}
+        self._vm_seq = 0
+        self.prepared = False
+
+    # -- lifecycle ----------------------------------------------------------------
+    def prepare(self):
+        """Generator: record phase for every function (offline)."""
+        for name, approach in self.approaches.items():
+            profile = self.profiles[name]
+            yield from approach.prepare(profile, generate_trace(profile, 0))
+        self.kernel.drop_caches()
+        self.kernel.device.reset_stats()
+        self.kernel.frames.reset_peak()
+        self.prepared = True
+
+    # -- request path -----------------------------------------------------------------
+    def handle(self, arrival: Arrival):
+        """Generator: serve one request; returns a RequestResult."""
+        if not self.prepared:
+            raise RuntimeError("node.prepare() has not run")
+        env = self.kernel.env
+        profile = self.profiles[arrival.function]
+        approach = self.approaches[arrival.function]
+        trace = generate_trace(profile, arrival.input_seed)
+        start = env.now
+
+        pool = self._pool[arrival.function]
+        if pool:
+            vm = pool.pop()
+            vm._parked = False
+            yield env.timeout(WARM_RESUME_SECONDS)
+            vm._spawn_time = start
+            yield from vm.invoke(trace)
+            cold = False
+        else:
+            self._vm_seq += 1
+            vm = yield from approach.spawn(
+                profile, vm_id=f"{arrival.function}-{self._vm_seq}")
+            yield from vm.invoke(trace)
+            approach.post_invoke(vm)
+            cold = True
+
+        latency = env.now - start
+        if self.warm_pool_ttl is not None:
+            self._park(vm, arrival.function)
+        else:
+            vm.teardown()
+        return RequestResult(function=arrival.function,
+                             arrival_time=arrival.time, latency=latency,
+                             cold=cold, input_seed=arrival.input_seed)
+
+    def _park(self, vm: MicroVM, function: str) -> None:
+        env = self.kernel.env
+        vm._parked = True
+        self._pool[function].append(vm)
+
+        def reaper():
+            yield env.timeout(self.warm_pool_ttl)
+            if getattr(vm, "_parked", False):
+                vm._parked = False
+                try:
+                    self._pool[function].remove(vm)
+                except ValueError:
+                    pass
+                vm.teardown()
+
+        env.process(reaper(), name=f"reaper-{vm.vm_id}")
+
+    # -- workload driver ----------------------------------------------------------------
+    def run(self, arrivals: list[Arrival],
+            sample_interval: float = 0.05) -> NodeReport:
+        """Drive a full workload to completion; returns the report."""
+        env = self.kernel.env
+        if not self.prepared:
+            env.run(env.process(self.prepare(), name="node-prepare"))
+
+        timeline: list[MemorySample] = []
+        done = {"flag": False}
+
+        def sampler():
+            while not done["flag"]:
+                timeline.append(MemorySample(env.now,
+                                             self.kernel.frames.in_use
+                                             * 4096))
+                yield env.timeout(sample_interval)
+
+        env.process(sampler(), name="memory-sampler")
+        base = env.now
+
+        def request(arrival: Arrival):
+            yield env.timeout(max(0.0, base + arrival.time - env.now))
+            result = yield from self.handle(arrival)
+            return result
+
+        processes = [env.process(request(a), name=f"req-{i}")
+                     for i, a in enumerate(arrivals)]
+        gate = env.all_of(processes)
+        env.run(gate)
+        done["flag"] = True
+        env.run()  # drain reapers and the sampler
+
+        return NodeReport(
+            results=[p.value for p in processes],
+            memory_timeline=timeline,
+            peak_memory_bytes=self.kernel.frames.peak_bytes)
+
+    # -- introspection ---------------------------------------------------------------------
+    def pooled_sandboxes(self, function: str) -> int:
+        return len(self._pool[function])

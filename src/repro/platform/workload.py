@@ -1,0 +1,52 @@
+"""Request workloads for the node simulation."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.profile import FunctionProfile
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One incoming invocation request."""
+
+    time: float
+    function: str
+    input_seed: int
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    time: float
+    bytes_in_use: int
+
+
+def poisson_arrivals(mix: list[tuple[FunctionProfile, float]],
+                     duration: float, seed: int = 0,
+                     vary_inputs: bool = False) -> list[Arrival]:
+    """Poisson arrivals for a function mix.
+
+    ``mix`` maps each function to its arrival rate (requests/second).
+    With ``vary_inputs`` each request carries a distinct input seed
+    (exercising the input-dependent working-set fraction); otherwise all
+    requests use input 0, the paper's identical-inputs setup.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    rng = random.Random(seed)
+    arrivals: list[Arrival] = []
+    for profile, rate in mix:
+        if rate <= 0:
+            raise ValueError(f"{profile.name}: rate must be positive")
+        t = rng.expovariate(rate)
+        index = 0
+        while t < duration:
+            arrivals.append(Arrival(
+                time=t, function=profile.name,
+                input_seed=index if vary_inputs else 0))
+            t += rng.expovariate(rate)
+            index += 1
+    arrivals.sort(key=lambda a: (a.time, a.function))
+    return arrivals

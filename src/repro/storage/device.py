@@ -1,0 +1,200 @@
+"""Abstract block device with a fixed-depth hardware queue.
+
+Requests are admitted into ``queue_depth`` concurrent service slots (SATA
+NCQ-style); each slot serves one request for a device-specific service
+time.  Subclasses implement :meth:`service_time`, which may depend on the
+previous request's end offset (sequentiality) — that is the hook the HDD
+model uses to penalize random I/O and the SSD model mostly ignores, which
+is exactly the asymmetry SnapBPF's "metadata-only prefetch" design bets on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.sim import Environment, Event, Resource
+from repro.units import PAGE_SIZE
+
+READ = "read"
+WRITE = "write"
+
+#: Request priorities: synchronous (fault-path) reads overtake queued
+#: readahead/prefetch I/O, mirroring the block layer's REQ_RAHEAD
+#: deprioritization.
+PRIO_SYNC = 0
+PRIO_READAHEAD = 10
+
+
+@dataclass
+class IORequest:
+    """One block-layer request: a contiguous byte range on the device."""
+
+    offset: int
+    nbytes: int
+    op: str = READ
+    prio: int = PRIO_SYNC
+    submit_time: float = 0.0
+    complete_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError(f"request size must be positive, got {self.nbytes}")
+        if self.offset < 0:
+            raise ValueError(f"request offset must be >= 0, got {self.offset}")
+        if self.op not in (READ, WRITE):
+            raise ValueError(f"unknown op {self.op!r}")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.nbytes
+
+
+class IOError_(IOError):
+    """A block request failed (media error injected by fault testing)."""
+
+    def __init__(self, request: "IORequest"):
+        super().__init__(f"I/O error on {request.op} "
+                         f"[{request.offset}, {request.end})")
+        self.request = request
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative accounting used by the benchmarks (I/O amplification)."""
+
+    requests: int = 0
+    read_requests: int = 0
+    write_requests: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    sequential_requests: int = 0
+    errors: int = 0
+    #: Sum of per-request wall times, queueing included (a load proxy,
+    #: not device utilization — requests overlap).
+    busy_time: float = 0.0
+    #: Per-request wall latency, submission to completion.
+    per_request_latency: list[float] = field(default_factory=list)
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "requests": self.requests,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "sequential_requests": self.sequential_requests,
+            "busy_time": self.busy_time,
+        }
+
+
+class BlockDevice:
+    """Base class: queue admission + stats; timing left to subclasses.
+
+    Service is a two-stage pipeline: a serialized *controller/bus* stage
+    (capacity 1 — this is what caps aggregate IOPS and bandwidth) followed
+    by a *media* stage that runs in parallel across the ``queue_depth``
+    slots (flash-plane access latency, or the mechanical seek for HDDs
+    where ``queue_depth`` should be 1).
+    """
+
+    def __init__(self, env: Environment, capacity_bytes: int,
+                 queue_depth: int = 32, name: str = "blk0"):
+        if capacity_bytes <= 0:
+            raise ValueError("device capacity must be positive")
+        if queue_depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.env = env
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.queue_depth = queue_depth
+        self.stats = DeviceStats()
+        self._slots = Resource(env, capacity=queue_depth)
+        self._controller = Resource(env, capacity=1)
+        self._last_end: int | None = None
+        self._seq = itertools.count()
+        #: Fault injection: the next N requests fail with IOError_ after
+        #: their service time elapses (media error semantics).
+        self.fail_next_requests = 0
+
+    # -- subclass interface -------------------------------------------------
+    def controller_time(self, request: IORequest) -> float:
+        """Serialized per-request time (bus transfer + command overhead)."""
+        raise NotImplementedError
+
+    def media_time(self, request: IORequest, sequential: bool) -> float:
+        """Per-slot media access time (parallel across the queue depth)."""
+        raise NotImplementedError
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, request: IORequest) -> Event:
+        """Submit a request; returns the completion event (value: request)."""
+        if request.end > self.capacity_bytes:
+            raise ValueError(
+                f"request [{request.offset}, {request.end}) exceeds device "
+                f"capacity {self.capacity_bytes}")
+        request.submit_time = self.env.now
+        return self.env.process(self._serve(request),
+                                name=f"{self.name}-io-{next(self._seq)}")
+
+    def read(self, offset: int, nbytes: int) -> Event:
+        return self.submit(IORequest(offset, nbytes, READ))
+
+    def write(self, offset: int, nbytes: int) -> Event:
+        return self.submit(IORequest(offset, nbytes, WRITE))
+
+    def _serve(self, request: IORequest):
+        start = self.env.now
+        fail = False
+        if self.fail_next_requests > 0:
+            self.fail_next_requests -= 1
+            fail = True
+        slot = self._slots.request(priority=request.prio)
+        yield slot
+        try:
+            ctrl = self._controller.request(priority=request.prio)
+            yield ctrl
+            try:
+                sequential = self._last_end == request.offset
+                self._last_end = request.end
+                yield self.env.timeout(self.controller_time(request))
+            finally:
+                self._controller.release(ctrl)
+            yield self.env.timeout(self.media_time(request, sequential))
+        finally:
+            self._slots.release(slot)
+        request.complete_time = self.env.now
+        if fail:
+            self.stats.errors += 1
+            raise IOError_(request)
+        self._account(request, sequential, request.complete_time - start)
+        return request
+
+    def _account(self, request: IORequest, sequential: bool,
+                 duration: float) -> None:
+        st = self.stats
+        st.requests += 1
+        st.busy_time += duration
+        st.per_request_latency.append(duration)
+        if sequential:
+            st.sequential_requests += 1
+        if request.op == READ:
+            st.read_requests += 1
+            st.bytes_read += request.nbytes
+        else:
+            st.write_requests += 1
+            st.bytes_written += request.nbytes
+
+    # -- misc -----------------------------------------------------------------
+    def reset_stats(self) -> None:
+        self.stats = DeviceStats()
+
+    @property
+    def pages_capacity(self) -> int:
+        return self.capacity_bytes // PAGE_SIZE
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<{type(self).__name__} {self.name} "
+                f"cap={self.capacity_bytes} qd={self.queue_depth}>")

@@ -1,0 +1,23 @@
+"""Firecracker-like VMM layer: snapshot files and microVM lifecycle.
+
+A :class:`~repro.vmm.snapshot.FunctionSnapshot` is the serialized guest
+memory of a pre-warmed function sandbox plus the metadata the baselines'
+pre-scans consume.  A :class:`~repro.vmm.microvm.MicroVM` is one restored
+sandbox: a host address space whose guest-memory mapping each prefetching
+approach sets up differently, nested page tables, a guest kernel, and a
+vCPU that replays the invocation trace.
+"""
+
+from repro.vmm.builder import BuildReport, SnapshotBuilder
+from repro.vmm.microvm import InvocationStats, MicroVM
+from repro.vmm.snapshot import FunctionSnapshot, SnapshotMetadata, build_snapshot
+
+__all__ = [
+    "BuildReport",
+    "FunctionSnapshot",
+    "InvocationStats",
+    "MicroVM",
+    "SnapshotBuilder",
+    "SnapshotMetadata",
+    "build_snapshot",
+]

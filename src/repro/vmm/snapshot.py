@@ -1,0 +1,80 @@
+"""Function snapshots: serialized guest memory + metadata.
+
+The snapshot file holds the full guest memory of a pre-warmed sandbox
+(firecracker's memory snapshot).  Its metadata records which guest PFNs
+were free at snapshot time — the information Faast's pre-scan recovers
+from the guest allocator metadata — and whether the guest ran a
+zero-on-free patched kernel, in which case the free pages' *contents*
+are zero and FaaSnap's zero-page scan can find them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.filestore import ZERO_PAGE, File
+from repro.workloads.profile import FunctionProfile
+
+
+@dataclass
+class SnapshotMetadata:
+    """What a pre-scanner could learn about the snapshot."""
+
+    mem_pages: int
+    #: (start, length) spans of guest PFNs free at snapshot time — free
+    #: memory in a pre-warmed guest is fragmented across the address
+    #: space (buddy allocator seed + Faast's pre-scan input).
+    free_spans: tuple[tuple[int, int], ...]
+    #: Guest kernel zeroed pages on free (FaaSnap's patch).
+    guest_zeroed: bool
+    _free_set: frozenset[int] | None = None
+
+    @property
+    def free_pages(self) -> int:
+        return sum(length for _s, length in self.free_spans)
+
+    def iter_free_gfns(self):
+        for start, length in self.free_spans:
+            yield from range(start, start + length)
+
+    @property
+    def free_gfns(self) -> frozenset[int]:
+        """Set view, cached (used per-fault by Faast's filter)."""
+        if self._free_set is None:
+            self._free_set = frozenset(self.iter_free_gfns())
+        return self._free_set
+
+
+@dataclass(frozen=True)
+class FunctionSnapshot:
+    """One on-disk snapshot ready to restore from."""
+
+    name: str
+    file: File
+    meta: SnapshotMetadata
+
+    @property
+    def mem_pages(self) -> int:
+        return self.meta.mem_pages
+
+
+def build_snapshot(kernel, profile: FunctionProfile,
+                   zero_free_pages: bool = False,
+                   suffix: str = "") -> FunctionSnapshot:
+    """Write a snapshot for ``profile`` into the kernel's file store.
+
+    Snapshot creation happens offline (before the measured cold starts),
+    so no simulated time is charged.  ``zero_free_pages`` builds the
+    FaaSnap variant whose guest zeroed freed memory.
+    """
+    name = f"{profile.name}{suffix}.snap"
+    file = kernel.filestore.create(name, profile.mem_bytes)
+    meta = SnapshotMetadata(
+        mem_pages=profile.mem_pages,
+        free_spans=profile.free_spans,
+        guest_zeroed=zero_free_pages,
+    )
+    if zero_free_pages:
+        for page in meta.iter_free_gfns():
+            file.set_content(page, ZERO_PAGE)
+    return FunctionSnapshot(name=profile.name, file=file, meta=meta)

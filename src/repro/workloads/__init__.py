@@ -1,0 +1,35 @@
+"""Function workload models.
+
+The paper evaluates FunctionBench workloads plus three real-world
+functions from FaaSMem (html_serving, graph_bfs, bert).  Neither suite
+can run inside this simulator, so each function is modeled as a
+:class:`~repro.workloads.profile.FunctionProfile` — snapshot size,
+working-set size and spatial structure, ephemeral allocation volume,
+compute time, write fraction — calibrated to the footprints those papers
+report, from which a deterministic access trace is generated
+(:mod:`repro.workloads.trace`).  The evaluation only ever consumes the
+trace (ordered page touches, allocations, compute gaps), so matched
+shape parameters exercise the same code paths as the real functions.
+"""
+
+from repro.workloads.profile import (
+    FAASMEM_FUNCTIONS,
+    FUNCTIONBENCH_FUNCTIONS,
+    FUNCTIONS,
+    FunctionProfile,
+    profile_by_name,
+)
+from repro.workloads.trace import Alloc, Compute, Free, TouchRun, generate_trace
+
+__all__ = [
+    "Alloc",
+    "Compute",
+    "FAASMEM_FUNCTIONS",
+    "FUNCTIONBENCH_FUNCTIONS",
+    "FUNCTIONS",
+    "Free",
+    "FunctionProfile",
+    "TouchRun",
+    "generate_trace",
+    "profile_by_name",
+]

@@ -1,0 +1,232 @@
+"""Function profiles for the thirteen evaluated workloads.
+
+Ten FunctionBench-style functions plus the three FaaSMem real-world
+workloads the paper adds (html_serving, graph_bfs, bert).  Footprints
+follow the ranges reported by REAP (Table 2), FaaSnap (§5) and FaaSMem:
+interpreter-heavy functions touch a few tens of MiB; model-serving
+functions (recognition, rnn, bert) fault in large initialized state;
+image/video/compression allocate large ephemeral buffers — the workloads
+Figure 4 shows benefiting most from PV PTE marking.
+
+Guest memory layout: pages ``[0, used_pages)`` hold snapshotted state
+(the working set is sampled from here); pages ``[used_pages, mem_pages)``
+were free at snapshot time and seed the guest buddy allocator — the
+region ephemeral allocations are served from.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import random
+from dataclasses import dataclass
+
+from repro.units import MIB, PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class FunctionProfile:
+    """Shape parameters for one serverless function."""
+
+    name: str
+    #: Guest memory size (snapshot file size).
+    mem_bytes: int
+    #: Snapshot-resident working set touched per invocation.
+    ws_bytes: int
+    #: Ephemeral memory allocated (and freed) during the invocation.
+    alloc_bytes: int
+    #: Pure CPU time of one invocation.
+    compute_seconds: float
+    #: Fraction of working-set runs written (and hence CoW'd per VM).
+    write_frac: float = 0.10
+    #: Mean contiguous-run length of the working set, in pages.
+    run_len_mean: float = 16.0
+    run_len_sigma: float = 1.0
+    #: Fraction of compute interleaved page-by-page with WS accesses
+    #: (the window prefetchers can hide I/O behind).
+    compute_overlap_frac: float = 0.6
+    #: Mean length (pages) of free-memory fragments at snapshot time.
+    #: Real pre-warmed guests leave free memory scattered through the
+    #: address space, which is what makes non-PV allocation faults fetch
+    #: *random* snapshot offsets (the Figure 4 PV-PTE effect).
+    free_span_pages: float = 24.0
+    #: Fraction of the working set that depends on the invocation input
+    #: (the rest — code, models, runtime state — is input-invariant).
+    #: Exercised by the varying-inputs experiment the paper defers to
+    #: future work (§4 Methodology).
+    input_ws_frac: float = 0.15
+    seed: int = 1
+
+    # -- derived ------------------------------------------------------------------
+    @property
+    def mem_pages(self) -> int:
+        return self.mem_bytes // PAGE_SIZE
+
+    @property
+    def ws_pages(self) -> int:
+        return self.ws_bytes // PAGE_SIZE
+
+    @property
+    def alloc_pages(self) -> int:
+        return self.alloc_bytes // PAGE_SIZE
+
+    @property
+    def free_pages_at_snapshot(self) -> int:
+        """Pages free in the guest at snapshot time (buddy pool)."""
+        headroom = max(self.alloc_pages + self.alloc_pages // 4,
+                       self.mem_pages // 8)
+        return min(headroom, self.mem_pages - self.ws_pages - 1)
+
+    @property
+    def used_pages(self) -> int:
+        return self.mem_pages - self.free_pages_at_snapshot
+
+    @property
+    def run_len_mu(self) -> float:
+        """Lognormal mu giving mean ``run_len_mean``."""
+        return math.log(self.run_len_mean) - self.run_len_sigma ** 2 / 2
+
+    # -- memory layout ----------------------------------------------------------
+    @property
+    def used_spans(self) -> tuple[tuple[int, int], ...]:
+        """(start, length) spans of in-use (snapshotted-state) guest pages."""
+        return _memory_layout(self)[0]
+
+    @property
+    def free_spans(self) -> tuple[tuple[int, int], ...]:
+        """(start, length) spans of guest pages free at snapshot time."""
+        return _memory_layout(self)[1]
+
+    def __post_init__(self) -> None:
+        if self.mem_bytes <= 0 or self.ws_bytes <= 0:
+            raise ValueError(f"{self.name}: sizes must be positive")
+        if self.ws_pages > self.mem_pages:
+            raise ValueError(f"{self.name}: working set exceeds memory")
+        if self.used_pages < self.ws_pages:
+            raise ValueError(f"{self.name}: working set does not fit the "
+                             f"in-use region")
+
+
+@functools.lru_cache(maxsize=128)
+def _memory_layout(profile: FunctionProfile) -> tuple[
+        tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]:
+    """Deterministic used/free span partition of guest memory.
+
+    Alternates lognormally-sized in-use and free spans until the target
+    free-page budget (``free_pages_at_snapshot``) is met, then leaves the
+    remainder in use; a shortfall is made up by a trailing free span so
+    the totals are exact.
+    """
+    rng = random.Random(profile.seed * 7919 + 17)
+    mem = profile.mem_pages
+    target_free = profile.free_pages_at_snapshot
+    free_frac = target_free / mem
+    sigma = 0.6
+    mean_free = max(1.0, profile.free_span_pages)
+    mean_used = max(1.0, mean_free * (1.0 - free_frac) / max(free_frac, 1e-9))
+    mu_free = math.log(mean_free) - sigma ** 2 / 2
+    mu_used = math.log(mean_used) - sigma ** 2 / 2
+
+    used: list[tuple[int, int]] = []
+    free: list[tuple[int, int]] = []
+    pos = 0
+    free_total = 0
+    while pos < mem:
+        length = min(max(1, int(rng.lognormvariate(mu_used, sigma))),
+                     mem - pos)
+        used.append((pos, length))
+        pos += length
+        if pos >= mem or free_total >= target_free:
+            if pos < mem:
+                # Free budget exhausted: the rest of memory is in use.
+                used.append((pos, mem - pos))
+                pos = mem
+            break
+        length = min(max(1, int(rng.lognormvariate(mu_free, sigma))),
+                     mem - pos, target_free - free_total)
+        free.append((pos, length))
+        free_total += length
+        pos += length
+    if free_total < target_free:
+        # Shortfall (high free fractions): carve the tail of used spans,
+        # last-first, until the budget is exact.
+        shortfall = target_free - free_total
+        for i in range(len(used) - 1, -1, -1):
+            if shortfall == 0:
+                break
+            start, length = used[i]
+            carve = min(shortfall, length - 1)
+            if carve <= 0:
+                continue
+            used[i] = (start, length - carve)
+            free.append((start + length - carve, carve))
+            shortfall -= carve
+        if shortfall:  # pragma: no cover - defensive
+            raise ValueError(f"{profile.name}: cannot satisfy free budget")
+        free.sort()
+    return tuple(used), tuple(free)
+
+
+def _mk(name: str, mem_mib: int, ws_mib: int, alloc_mib: int,
+        compute_s: float, write_frac: float, run_len: float,
+        seed: int, free_span: float = 24.0) -> FunctionProfile:
+    return FunctionProfile(
+        name=name,
+        mem_bytes=mem_mib * MIB,
+        ws_bytes=ws_mib * MIB,
+        alloc_bytes=alloc_mib * MIB,
+        compute_seconds=compute_s,
+        write_frac=write_frac,
+        run_len_mean=run_len,
+        free_span_pages=free_span,
+        seed=seed,
+    )
+
+
+#: FunctionBench-representative functions (paper §4 Methodology).
+FUNCTIONBENCH_FUNCTIONS: tuple[FunctionProfile, ...] = (
+    _mk("json",        mem_mib=256,  ws_mib=34,  alloc_mib=12,  compute_s=0.10,
+        write_frac=0.12, run_len=8,  seed=11),
+    _mk("chameleon",   mem_mib=256,  ws_mib=46,  alloc_mib=24,  compute_s=0.14,
+        write_frac=0.12, run_len=10, seed=12),
+    _mk("matmul",      mem_mib=256,  ws_mib=52,  alloc_mib=40,  compute_s=0.38,
+        write_frac=0.10, run_len=48, seed=13),
+    _mk("pyaes",       mem_mib=256,  ws_mib=24,  alloc_mib=6,   compute_s=0.18,
+        write_frac=0.10, run_len=8,  seed=14),
+    _mk("image",       mem_mib=768,  ws_mib=58,  alloc_mib=190, compute_s=0.26,
+        write_frac=0.10, run_len=24, seed=15, free_span=12),
+    _mk("compression", mem_mib=768,  ws_mib=44,  alloc_mib=130, compute_s=0.22,
+        write_frac=0.10, run_len=16, seed=16, free_span=12),
+    _mk("video",       mem_mib=768,  ws_mib=72,  alloc_mib=150, compute_s=0.48,
+        write_frac=0.10, run_len=32, seed=17),
+    _mk("recognition", mem_mib=768,  ws_mib=210, alloc_mib=44,  compute_s=0.32,
+        write_frac=0.08, run_len=56, seed=18),
+    _mk("pagerank",    mem_mib=512,  ws_mib=92,  alloc_mib=64,  compute_s=0.30,
+        write_frac=0.14, run_len=12, seed=19),
+    _mk("rnn",         mem_mib=512,  ws_mib=150, alloc_mib=16,  compute_s=0.26,
+        write_frac=0.08, run_len=56, seed=20),
+)
+
+#: FaaSMem real-world workloads (paper §4 Methodology).
+FAASMEM_FUNCTIONS: tuple[FunctionProfile, ...] = (
+    _mk("html",        mem_mib=256,  ws_mib=30,  alloc_mib=10,  compute_s=0.06,
+        write_frac=0.12, run_len=10, seed=21),
+    _mk("bfs",         mem_mib=1024, ws_mib=320, alloc_mib=40,  compute_s=0.34,
+        write_frac=0.05, run_len=20, seed=22),
+    _mk("bert",        mem_mib=1536, ws_mib=500, alloc_mib=20,  compute_s=0.42,
+        write_frac=0.04, run_len=64, seed=23),
+)
+
+FUNCTIONS: tuple[FunctionProfile, ...] = (
+    FUNCTIONBENCH_FUNCTIONS + FAASMEM_FUNCTIONS)
+
+_BY_NAME = {p.name: p for p in FUNCTIONS}
+
+
+def profile_by_name(name: str) -> FunctionProfile:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown function {name!r}; choose from "
+            f"{sorted(_BY_NAME)}") from None

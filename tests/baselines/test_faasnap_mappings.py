@@ -1,0 +1,67 @@
+"""FaaSnap's guest-memory patchwork must exactly partition guest memory."""
+
+import pytest
+
+from repro.baselines.faasnap import FaaSnap
+from repro.harness.experiment import make_kernel
+from repro.workloads.trace import generate_trace
+
+
+@pytest.fixture
+def spawned(tiny_profile):
+    kernel = make_kernel()
+    approach = FaaSnap(kernel)
+    trace = generate_trace(tiny_profile, 0)
+    prep = kernel.env.process(approach.prepare(tiny_profile, trace))
+    kernel.env.run(prep)
+
+    def body():
+        vm = yield from approach.spawn(tiny_profile, "vm0")
+        return vm
+
+    process = kernel.env.process(body())
+    kernel.env.run(process)
+    return kernel, approach, process.value
+
+
+def test_vmas_partition_guest_memory(spawned, tiny_profile):
+    _kernel, _approach, vm = spawned
+    vmas = sorted(vm.space.vmas, key=lambda v: v.start)
+    cursor = vm.guest_base_vpn
+    for vma in vmas:
+        assert vma.start == cursor, "gap in guest memory mappings"
+        cursor = vma.end
+    assert cursor == vm.guest_base_vpn + tiny_profile.mem_pages
+
+
+def test_vma_kinds_match_plan(spawned):
+    _kernel, approach, vm = spawned
+    by_name = {}
+    for vma in vm.space.vmas:
+        by_name.setdefault(vma.name, []).append(vma)
+    assert len(by_name["ws"]) == approach.region_count
+    assert len(by_name["zero"]) == len(approach._zero_ranges)
+    assert by_name["snap"], "remainder must map the snapshot"
+    for vma in by_name["zero"]:
+        assert vma.is_anon
+    for vma in by_name["ws"]:
+        assert vma.file is approach._ws_file
+
+
+def test_ws_vma_offsets_translate_to_ws_file(spawned):
+    _kernel, approach, vm = spawned
+    region = approach._regions[0]
+    vma = next(v for v in vm.space.vmas
+               if v.name == "ws"
+               and v.start == vm.guest_base_vpn + region.guest_start)
+    # The first guest page of the region maps the region's WS-file page.
+    assert vma.file_index(vma.start) == region.ws_offset
+
+
+def test_ws_file_content_matches_snapshot(spawned):
+    _kernel, approach, _vm = spawned
+    for region in approach._regions[:10]:
+        for i in range(region.length):
+            assert (approach._ws_file.content(region.ws_offset + i)
+                    == approach.snapshot.file.content(
+                        region.guest_start + i))

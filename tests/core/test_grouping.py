@@ -1,0 +1,99 @@
+"""Offset grouping (§3.1): unit + property tests on its invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import (
+    GROUP_RECORD_BYTES,
+    Group,
+    group_offsets,
+    groups_metadata_bytes,
+    total_pages,
+)
+
+
+def test_empty():
+    assert group_offsets([]) == []
+
+
+def test_single_run_merges():
+    groups = group_offsets([(10, 5), (11, 6), (12, 7)])
+    assert len(groups) == 1
+    assert (groups[0].start, groups[0].count) == (10, 3)
+    assert groups[0].first_access_ns == 5
+
+
+def test_gap_splits_groups():
+    groups = group_offsets([(10, 1), (11, 2), (20, 3)])
+    assert [(g.start, g.count) for g in
+            sorted(groups, key=lambda g: g.start)] == [(10, 2), (20, 1)]
+
+
+def test_sorted_by_earliest_access():
+    # Spatially later pages accessed first must be prefetched first.
+    groups = group_offsets([(100, 50), (101, 60), (5, 200), (6, 210)])
+    assert [(g.start, g.count) for g in groups] == [(100, 2), (5, 2)]
+
+
+def test_group_timestamp_is_min_of_members():
+    groups = group_offsets([(10, 300), (11, 100), (12, 200)])
+    assert groups[0].first_access_ns == 100
+
+
+def test_duplicate_offsets_deduped():
+    groups = group_offsets([(10, 5), (10, 99), (11, 6)])
+    assert total_pages(groups) == 2
+
+
+def test_tie_broken_by_start_for_determinism():
+    groups = group_offsets([(50, 7), (10, 7)])
+    assert [g.start for g in groups] == [10, 50]
+
+
+def test_metadata_bytes():
+    groups = group_offsets([(1, 1), (5, 2), (9, 3)])
+    assert groups_metadata_bytes(groups) == 3 * GROUP_RECORD_BYTES
+    assert groups_metadata_bytes([]) == 1  # minimal file
+
+
+def test_group_validation():
+    with pytest.raises(ValueError):
+        Group(start=0, count=0, first_access_ns=0)
+    with pytest.raises(ValueError):
+        Group(start=-1, count=1, first_access_ns=0)
+
+
+offsets_strategy = st.dictionaries(
+    keys=st.integers(0, 5000), values=st.integers(0, 10**9),
+    min_size=0, max_size=400)
+
+
+@settings(max_examples=100, deadline=None)
+@given(entries=offsets_strategy)
+def test_grouping_properties(entries):
+    """Coverage, disjointness, maximality, and temporal ordering."""
+    groups = group_offsets(entries.items())
+
+    # Exact coverage: union of groups == input offsets.
+    covered = set()
+    for g in groups:
+        span = set(range(g.start, g.end))
+        assert not (span & covered), "groups overlap"
+        covered |= span
+    assert covered == set(entries)
+
+    # Maximality: no two groups are spatially adjacent (they would have
+    # been merged).
+    starts = {g.start: g for g in groups}
+    for g in groups:
+        assert g.end not in starts, "adjacent groups not merged"
+
+    # Temporal order: non-decreasing first-access timestamps.
+    stamps = [g.first_access_ns for g in groups]
+    assert stamps == sorted(stamps)
+
+    # Each group's timestamp is the min over its members.
+    for g in groups:
+        members = [entries[o] for o in range(g.start, g.end)]
+        assert g.first_access_ns == min(members)

@@ -1,0 +1,50 @@
+"""The snapbpf_prefetch kfunc bridge."""
+
+import pytest
+
+from repro.core.kfuncs import SNAPBPF_PREFETCH, register_snapbpf_kfunc
+from repro.units import MIB
+
+
+def test_registration_idempotent(kernel):
+    register_snapbpf_kfunc(kernel)
+    register_snapbpf_kfunc(kernel)  # second call is a no-op
+    assert SNAPBPF_PREFETCH in kernel.kfuncs
+    assert kernel.kfuncs.get(SNAPBPF_PREFETCH).n_args == 3
+
+
+def test_prefetch_fills_page_cache(kernel):
+    register_snapbpf_kfunc(kernel)
+    file = kernel.filestore.create("snap", MIB)
+    spec = kernel.kfuncs.get(SNAPBPF_PREFETCH)
+    issued = spec.func(file.ino, 8, 16)
+    assert issued == 16
+    kernel.env.run()
+    assert kernel.page_cache.resident(file.ino, 8)
+    assert kernel.page_cache.resident(file.ino, 23)
+    assert not kernel.page_cache.resident(file.ino, 24)
+
+
+def test_unknown_ino_returns_zero(kernel):
+    register_snapbpf_kfunc(kernel)
+    spec = kernel.kfuncs.get(SNAPBPF_PREFETCH)
+    assert spec.func(9999, 0, 4) == 0
+    assert kernel.page_cache.cached_pages() == 0
+
+
+def test_range_clipped_to_file(kernel):
+    register_snapbpf_kfunc(kernel)
+    file = kernel.filestore.create("snap", MIB)  # 256 pages
+    spec = kernel.kfuncs.get(SNAPBPF_PREFETCH)
+    assert spec.func(file.ino, 250, 100) == 6
+    kernel.env.run()
+    assert kernel.page_cache.cached_pages(file.ino) == 6
+
+
+def test_cpu_cost_charged_to_kprobe_side_cost(kernel):
+    register_snapbpf_kfunc(kernel)
+    file = kernel.filestore.create("snap", MIB)
+    spec = kernel.kfuncs.get(SNAPBPF_PREFETCH)
+    assert kernel.kprobes.side_cost == 0.0
+    spec.func(file.ino, 0, 32)
+    assert kernel.kprobes.side_cost > 0.0

@@ -1,0 +1,128 @@
+"""The SnapBPF eBPF programs: verification + behavioural semantics."""
+
+import pytest
+
+from repro.core.grouping import Group
+from repro.core.kfuncs import SNAPBPF_PREFETCH
+from repro.core.progs import (
+    build_capture_program,
+    build_prefetch_program,
+    load_groups,
+    make_groups_map,
+    make_state_map,
+    make_ws_map,
+)
+from repro.ebpf.interp import Interpreter, pack_u64
+from repro.ebpf.kfunc import KfuncRegistry
+from repro.ebpf.kprobe import RET_DETACH_SELF, KprobeManager
+from repro.ebpf.verifier import VerificationError, Verifier
+from repro.mm.page_cache import HOOK_CTX_SIZE
+
+
+@pytest.fixture
+def kfuncs():
+    registry = KfuncRegistry()
+    registry.register(SNAPBPF_PREFETCH, lambda ino, start, count: count,
+                      n_args=3)
+    return registry
+
+
+class TestCaptureProgram:
+    def test_passes_verification(self):
+        prog = build_capture_program(42, make_ws_map("ws"))
+        Verifier(ctx_size=HOOK_CTX_SIZE).verify(prog)
+
+    def test_records_offset_with_timestamp(self):
+        ws = make_ws_map("ws")
+        prog = build_capture_program(42, ws)
+        clock = [1000]
+        interp = Interpreter(time_ns=lambda: clock[0])
+        interp.run(prog, pack_u64(42, 7))
+        clock[0] = 2000
+        interp.run(prog, pack_u64(42, 9))
+        assert dict(ws.items_u64()) == {7: (1000,), 9: (2000,)}
+
+    def test_filters_other_inodes(self):
+        ws = make_ws_map("ws")
+        prog = build_capture_program(42, ws)
+        Interpreter().run(prog, pack_u64(41, 7))
+        assert len(ws) == 0
+
+    def test_keeps_first_access_time(self):
+        ws = make_ws_map("ws")
+        prog = build_capture_program(42, ws)
+        clock = [100]
+        interp = Interpreter(time_ns=lambda: clock[0])
+        interp.run(prog, pack_u64(42, 7))
+        clock[0] = 999
+        interp.run(prog, pack_u64(42, 7))  # re-insertion after eviction
+        assert dict(ws.items_u64()) == {7: (100,)}
+
+
+class TestPrefetchProgram:
+    def make(self, groups, kfuncs, ino=42):
+        groups_map = make_groups_map("g", len(groups))
+        state_map = make_state_map("s")
+        load_groups(groups_map, groups)
+        prog = build_prefetch_program(ino, groups_map, state_map)
+        Verifier(ctx_size=HOOK_CTX_SIZE, kfuncs=kfuncs).verify(prog)
+        return prog, state_map
+
+    def test_issues_all_groups_in_order(self):
+        issued = []
+        kfuncs = KfuncRegistry()
+        kfuncs.register(SNAPBPF_PREFETCH,
+                        lambda ino, start, count: issued.append(
+                            (ino, start, count)) or 0, n_args=3)
+        groups = [Group(100, 4, 1), Group(7, 2, 2), Group(900, 1, 3)]
+        prog, _state = self.make(groups, kfuncs)
+        result = Interpreter(kfuncs=kfuncs).run(prog, pack_u64(42, 0))
+        assert issued == [(42, 100, 4), (42, 7, 2), (42, 900, 1)]
+        assert result.r0 == RET_DETACH_SELF
+
+    def test_done_flag_blocks_reentry(self):
+        calls = []
+        kfuncs = KfuncRegistry()
+        kfuncs.register(SNAPBPF_PREFETCH,
+                        lambda *a: calls.append(a) or 0, n_args=3)
+        prog, state = self.make([Group(1, 1, 1)], kfuncs)
+        interp = Interpreter(kfuncs=kfuncs)
+        interp.run(prog, pack_u64(42, 0))
+        second = interp.run(prog, pack_u64(42, 5))
+        assert len(calls) == 1
+        assert second.r0 == 0  # idle exit, not detach
+
+    def test_other_inode_does_not_trigger(self):
+        calls = []
+        kfuncs = KfuncRegistry()
+        kfuncs.register(SNAPBPF_PREFETCH,
+                        lambda *a: calls.append(a) or 0, n_args=3)
+        prog, _state = self.make([Group(1, 1, 1)], kfuncs)
+        result = Interpreter(kfuncs=kfuncs).run(prog, pack_u64(41, 0))
+        assert calls == [] and result.r0 == 0
+
+    def test_rejected_without_kfunc(self):
+        groups_map = make_groups_map("g", 1)
+        state_map = make_state_map("s")
+        prog = build_prefetch_program(42, groups_map, state_map)
+        with pytest.raises(VerificationError, match="unregistered kfunc"):
+            Verifier(ctx_size=HOOK_CTX_SIZE).verify(prog)
+
+    def test_self_detaches_via_kprobe_manager(self, kfuncs):
+        prog, _state = self.make([Group(1, 2, 1)], kfuncs)
+        kp = KprobeManager(kfuncs=kfuncs)
+        kp.declare_hook("add_to_page_cache_lru", HOOK_CTX_SIZE)
+        kp.attach("add_to_page_cache_lru", prog)
+        kp.fire("add_to_page_cache_lru", pack_u64(42, 0))
+        assert kp.attached("add_to_page_cache_lru") == []
+
+    def test_load_groups_requires_sentinel_slot(self):
+        groups = [Group(i * 10, 1, i) for i in range(4)]
+        groups_map = make_groups_map("g", 3)  # too small
+        with pytest.raises(ValueError):
+            load_groups(groups_map, groups)
+
+    def test_empty_groups_detaches_immediately(self, kfuncs):
+        prog, _state = self.make([], kfuncs)
+        result = Interpreter(kfuncs=kfuncs).run(prog, pack_u64(42, 0))
+        assert result.r0 == RET_DETACH_SELF

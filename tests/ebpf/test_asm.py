@@ -1,0 +1,87 @@
+"""Assembler: label resolution, validation, instruction constructors."""
+
+import pytest
+
+from repro.ebpf.asm import (
+    AssemblyError,
+    Label,
+    assemble,
+    alui,
+    exit_,
+    jcond,
+    jmp,
+    ldmap,
+    movi,
+)
+from repro.ebpf.insn import Alu, Jmp
+from repro.ebpf.maps import HashMap
+
+
+def test_label_resolution():
+    prog = assemble("p", [
+        jmp("end"),
+        movi(0, 1),
+        Label("end"),
+        movi(0, 0),
+        exit_(),
+    ])
+    assert isinstance(prog.insns[0], Jmp)
+    assert prog.insns[0].target == 2
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("p", [Label("a"), Label("a"), exit_()])
+
+
+def test_unresolved_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("p", [jmp("nowhere"), exit_()])
+
+
+def test_empty_program_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("p", [])
+    with pytest.raises(AssemblyError):
+        assemble("p", [Label("only")])
+
+
+def test_non_instruction_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("p", ["mov r0, 1", exit_()])
+
+
+def test_absolute_int_targets_allowed():
+    prog = assemble("p", [jcond("jeq", 0, 2, imm=0), movi(0, 1), exit_()])
+    assert prog.insns[0].target == 2
+
+
+def test_map_reference_must_exist():
+    with pytest.raises(AssemblyError):
+        assemble("p", [ldmap(1, "ghost"), exit_()])
+    m = HashMap("m")
+    prog = assemble("p", [ldmap(1, "m"), movi(0, 0), exit_()],
+                    maps={"m": m})
+    assert prog.map_named("m") is m
+    with pytest.raises(KeyError):
+        prog.map_named("ghost")
+
+
+def test_insn_validation():
+    with pytest.raises(ValueError):
+        Alu("mov", 0)  # neither src nor imm
+    with pytest.raises(ValueError):
+        Alu("mov", 0, src=1, imm=2)  # both
+    with pytest.raises(ValueError):
+        Alu("bogus", 0, imm=1)
+    with pytest.raises(ValueError):
+        Alu("mov", 11, imm=1)  # register out of range
+    with pytest.raises(ValueError):
+        Jmp("jeq", 0)  # missing dst
+    with pytest.raises(ValueError):
+        jcond("jeq", 0, 0)  # neither src nor imm
+
+
+def test_program_len():
+    prog = assemble("p", [movi(0, 0), exit_()])
+    assert len(prog) == 2

@@ -1,0 +1,87 @@
+"""Instruction constructor validation (malformed programs fail early)."""
+
+import pytest
+
+from repro.ebpf.insn import (
+    Alu,
+    CallKfunc,
+    Jmp,
+    Load,
+    LoadMapFd,
+    Store,
+)
+from repro.ebpf.helpers import HELPERS, spec_for
+
+
+class TestLoadStore:
+    def test_load_width_checked(self):
+        with pytest.raises(ValueError):
+            Load(0, 1, 0, width=3)
+        Load(0, 1, 0, width=1)  # all of 1/2/4/8 are fine
+
+    def test_load_registers_checked(self):
+        with pytest.raises(ValueError):
+            Load(11, 1, 0)
+        with pytest.raises(ValueError):
+            Load(0, -1, 0)
+
+    def test_store_needs_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            Store(0, 0)
+        with pytest.raises(ValueError):
+            Store(0, 0, src=1, imm=2)
+        Store(0, 0, src=1)
+        Store(0, 0, imm=2)
+
+    def test_store_width_checked(self):
+        with pytest.raises(ValueError):
+            Store(0, 0, imm=1, width=16)
+
+
+class TestJmp:
+    def test_ja_takes_no_operands(self):
+        with pytest.raises(ValueError):
+            Jmp("ja", 0, dst=1)
+        with pytest.raises(ValueError):
+            Jmp("ja", 0, imm=1)
+        Jmp("ja", 0)
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            Jmp("jump_if_tuesday", 0, dst=1, imm=0)
+
+    def test_cond_needs_dst(self):
+        with pytest.raises(ValueError):
+            Jmp("jeq", 0, imm=0)
+
+
+class TestAlu:
+    def test_neg_takes_no_source(self):
+        with pytest.raises(ValueError):
+            Alu("neg", 0, imm=1)
+        with pytest.raises(ValueError):
+            Alu("neg", 0, src=1)
+        Alu("neg", 0)
+
+
+class TestMisc:
+    def test_loadmapfd_register_checked(self):
+        with pytest.raises(ValueError):
+            LoadMapFd(12, "m")
+
+    def test_callkfunc_is_a_plain_record(self):
+        assert CallKfunc("snapbpf_prefetch").name == "snapbpf_prefetch"
+
+    def test_helper_table_consistent(self):
+        for helper_id, spec in HELPERS.items():
+            assert spec.helper_id == helper_id
+            assert spec_for(helper_id) is spec
+        with pytest.raises(KeyError):
+            spec_for(12345)
+
+    def test_insns_hashable_and_frozen(self):
+        insn = Load(0, 1, 8)
+        assert insn == Load(0, 1, 8)
+        assert hash(insn) == hash(Load(0, 1, 8))
+        with pytest.raises(AttributeError):
+            insn.dst = 3

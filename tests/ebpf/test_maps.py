@@ -1,0 +1,101 @@
+"""BPF map semantics (hash + array)."""
+
+import struct
+
+import pytest
+
+from repro.ebpf.maps import ArrayMap, HashMap, MapError
+
+
+class TestHashMap:
+    def test_update_lookup_delete(self):
+        m = HashMap("h", key_size=8, value_size=8, max_entries=4)
+        key = struct.pack("<Q", 7)
+        m.update(key, struct.pack("<Q", 99))
+        assert struct.unpack("<Q", bytes(m.lookup(key)))[0] == 99
+        m.delete(key)
+        assert m.lookup(key) is None
+
+    def test_lookup_missing_is_none(self):
+        m = HashMap("h", key_size=8, value_size=8)
+        assert m.lookup(b"\0" * 8) is None
+
+    def test_delete_missing_raises(self):
+        m = HashMap("h", key_size=8, value_size=8)
+        with pytest.raises(MapError):
+            m.delete(b"\0" * 8)
+
+    def test_capacity_enforced(self):
+        m = HashMap("h", key_size=8, value_size=8, max_entries=2)
+        m.update_u64s(1, 1)
+        m.update_u64s(2, 2)
+        with pytest.raises(MapError):
+            m.update_u64s(3, 3)
+        # Updating an existing key is always allowed.
+        m.update_u64s(1, 10)
+        assert m.lookup_u64s(1) == (10,)
+
+    def test_key_value_size_checked(self):
+        m = HashMap("h", key_size=8, value_size=16)
+        with pytest.raises(MapError):
+            m.update(b"\0" * 4, b"\0" * 16)
+        with pytest.raises(MapError):
+            m.update(b"\0" * 8, b"\0" * 8)
+
+    def test_items_u64(self):
+        m = HashMap("h", key_size=8, value_size=16)
+        m.update(struct.pack("<Q", 3), struct.pack("<QQ", 30, 31))
+        m.update(struct.pack("<Q", 1), struct.pack("<QQ", 10, 11))
+        assert sorted(m.items_u64()) == [(1, (10, 11)), (3, (30, 31))]
+
+    def test_clear_and_len(self):
+        m = HashMap("h")
+        m.update_u64s(1, 1)
+        m.update_u64s(2, 2)
+        assert len(m) == 2
+        m.clear()
+        assert len(m) == 0
+
+    def test_dimension_validation(self):
+        with pytest.raises(MapError):
+            HashMap("h", key_size=0)
+        with pytest.raises(MapError):
+            HashMap("h", max_entries=0)
+
+
+class TestArrayMap:
+    def test_preallocated(self):
+        m = ArrayMap("a", value_size=8, max_entries=4)
+        assert len(m) == 4
+        assert bytes(m.lookup(struct.pack("<I", 0))) == b"\0" * 8
+
+    def test_out_of_bounds_lookup_none(self):
+        m = ArrayMap("a", value_size=8, max_entries=4)
+        assert m.lookup(struct.pack("<I", 4)) is None
+
+    def test_out_of_bounds_update_raises(self):
+        m = ArrayMap("a", value_size=8, max_entries=4)
+        with pytest.raises(MapError):
+            m.update(struct.pack("<I", 4), b"\0" * 8)
+
+    def test_delete_forbidden(self):
+        m = ArrayMap("a", value_size=8, max_entries=4)
+        with pytest.raises(MapError):
+            m.delete(struct.pack("<I", 0))
+
+    def test_update_in_place(self):
+        m = ArrayMap("a", value_size=16, max_entries=2)
+        m.update(struct.pack("<I", 1), struct.pack("<QQ", 5, 6))
+        assert m.lookup_u64s(1) == (5, 6)
+
+    def test_lookup_returns_live_storage(self):
+        """In-kernel writes through a looked-up value pointer persist —
+        the done-flag mechanism of the prefetch program relies on it."""
+        m = ArrayMap("a", value_size=8, max_entries=1)
+        value = m.lookup(struct.pack("<I", 0))
+        value[0] = 7
+        assert m.lookup(struct.pack("<I", 0))[0] == 7
+
+    def test_key_size_is_u32(self):
+        m = ArrayMap("a", value_size=8, max_entries=2)
+        assert m.key_size == 4

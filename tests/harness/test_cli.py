@@ -1,0 +1,46 @@
+"""CLI entry point (`python -m repro`)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "bert" in out and "snapbpf" in out
+    assert out.count("MiB") >= 13 * 3
+
+
+def test_run(capsys):
+    assert main(["run", "json", "linux-nora"]) == 0
+    out = capsys.readouterr().out
+    assert "mean E2E" in out and "peak memory" in out
+
+
+def test_run_unknown_function(capsys):
+    assert main(["run", "nosuch", "snapbpf"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_run_with_instances_and_device(capsys):
+    assert main(["run", "json", "linux-nora", "-n", "2",
+                 "--device", "hdd"]) == 0
+    assert "x2 [hdd]" in capsys.readouterr().out
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Kernel-space" in out
+
+
+def test_fig_with_subset(capsys):
+    assert main(["fig", "4", "--functions", "json"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out and "json" in out
+
+
+def test_bad_approach_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "json", "warpdrive"])

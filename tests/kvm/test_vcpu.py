@@ -1,0 +1,65 @@
+"""vCPU trace replay."""
+
+import pytest
+
+from repro.workloads.trace import Alloc, Compute, Free, TouchRun
+from repro.vmm.microvm import GUEST_BASE_VPN, MicroVM
+from repro.vmm.snapshot import build_snapshot
+
+
+def spawn_plain_vm(kernel, profile, pv=False):
+    snapshot = build_snapshot(kernel, profile)
+    vm = MicroVM(kernel, snapshot, pv_marking=pv)
+    vm.space.mmap(snapshot.mem_pages, file=snapshot.file,
+                  at=GUEST_BASE_VPN, ra_pages=0)
+    return vm
+
+
+def test_compute_advances_clock(kernel, tiny_profile):
+    vm = spawn_plain_vm(kernel, tiny_profile)
+    p = kernel.env.process(vm.vcpu.run_trace([Compute(0.5)]))
+    kernel.env.run(p)
+    assert kernel.env.now == pytest.approx(0.5)
+
+
+def test_touch_run_faults_pages(kernel, tiny_profile):
+    vm = spawn_plain_vm(kernel, tiny_profile)
+    trace = [TouchRun(start=0, count=16, write=False, per_page_compute=0)]
+    p = kernel.env.process(vm.vcpu.run_trace(trace))
+    kernel.env.run(p)
+    assert vm.vcpu.stats.pages_touched == 16
+    assert vm.kvm.stats_nested_faults == 16
+    assert all(vm.kvm.ept.get(g) for g in range(16))
+
+
+def test_repeat_touch_is_ept_hit(kernel, tiny_profile):
+    vm = spawn_plain_vm(kernel, tiny_profile)
+    trace = [TouchRun(0, 16, False, 0), TouchRun(0, 16, False, 0)]
+    p = kernel.env.process(vm.vcpu.run_trace(trace))
+    kernel.env.run(p)
+    assert vm.kvm.stats_nested_faults == 16
+
+
+def test_alloc_and_free_cycle(kernel, tiny_profile):
+    vm = spawn_plain_vm(kernel, tiny_profile, pv=True)
+    trace = [Alloc("a", 32, 0), Free("a")]
+    p = kernel.env.process(vm.vcpu.run_trace(trace))
+    kernel.env.run(p)
+    assert vm.vcpu.stats.pages_allocated == 32
+    assert vm.guest.pages_freed == 32
+    assert vm.kvm.stats_pv_faults > 0
+
+
+def test_unknown_op_rejected(kernel, tiny_profile):
+    vm = spawn_plain_vm(kernel, tiny_profile)
+    p = kernel.env.process(vm.vcpu.run_trace(["bogus"]))
+    with pytest.raises(TypeError):
+        kernel.env.run(p)
+
+
+def test_compute_seconds_accounted(kernel, tiny_profile):
+    vm = spawn_plain_vm(kernel, tiny_profile)
+    trace = [TouchRun(0, 10, False, 1e-3), Compute(0.1)]
+    p = kernel.env.process(vm.vcpu.run_trace(trace))
+    kernel.env.run(p)
+    assert vm.vcpu.stats.compute_seconds == pytest.approx(0.11)

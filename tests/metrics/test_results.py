@@ -1,0 +1,40 @@
+"""ScenarioResult summaries."""
+
+import pytest
+
+from repro.metrics.results import ScenarioResult, summarize
+from repro.units import GIB
+from repro.vmm.microvm import InvocationStats
+
+
+def make_result(function="f", approach="a", latencies=(1.0, 2.0, 3.0)):
+    return ScenarioResult(
+        function=function, approach=approach, n_instances=len(latencies),
+        invocations=[InvocationStats(vm_id=f"vm{i}", e2e_seconds=lat)
+                     for i, lat in enumerate(latencies)],
+        peak_memory_bytes=2 * GIB)
+
+
+def test_latency_summaries():
+    result = make_result()
+    assert result.e2e_latencies == [1.0, 2.0, 3.0]
+    assert result.mean_e2e == pytest.approx(2.0)
+    assert result.max_e2e == 3.0
+
+
+def test_peak_memory_gib():
+    assert make_result().peak_memory_gib == pytest.approx(2.0)
+
+
+def test_str_is_informative():
+    text = str(make_result(function="bert", approach="snapbpf"))
+    assert "bert" in text and "snapbpf" in text
+
+
+def test_summarize_pivots_by_function_and_approach():
+    table = summarize([
+        make_result("f1", "a1", (1.0,)),
+        make_result("f1", "a2", (2.0,)),
+        make_result("f2", "a1", (3.0,)),
+    ])
+    assert table == {"f1": {"a1": 1.0, "a2": 2.0}, "f2": {"a1": 3.0}}

@@ -1,0 +1,48 @@
+"""Cost model sanity and scaling."""
+
+import dataclasses
+
+import pytest
+
+from repro.mm.costs import CostModel
+
+
+def test_defaults_positive_and_sub_millisecond():
+    costs = CostModel()
+    for field in dataclasses.fields(costs):
+        value = getattr(costs, field.name)
+        assert value > 0, field.name
+        if field.name != "bpf_prog_attach":
+            assert value < 1e-4, f"{field.name} suspiciously large"
+
+
+def test_relative_magnitudes():
+    costs = CostModel()
+    # A uffd round trip costs several base faults (the REAP tax).
+    assert costs.uffd_roundtrip > 2 * costs.fault_base
+    # Page copy costs more than PTE manipulation.
+    assert costs.memcpy_page > costs.pte_install
+    # mincore per page is far below a fault.
+    assert costs.mincore_per_page < costs.fault_base / 10
+
+
+def test_scaled():
+    costs = CostModel()
+    double = costs.scaled(2.0)
+    assert double.fault_base == pytest.approx(2 * costs.fault_base)
+    assert double.memcpy_page == pytest.approx(2 * costs.memcpy_page)
+    # Original untouched (frozen).
+    assert costs.fault_base == CostModel().fault_base
+
+
+def test_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        CostModel().fault_base = 1.0
+
+
+def test_custom_cost_model_reaches_simulation(tiny_profile):
+    from repro.harness.experiment import run_scenario
+    slow = run_scenario(tiny_profile, "linux-nora",
+                        costs=CostModel().scaled(10.0))
+    fast = run_scenario(tiny_profile, "linux-nora")
+    assert slow.mean_e2e > fast.mean_e2e

@@ -1,0 +1,42 @@
+"""The aggregate Kernel object."""
+
+from repro.mm.kernel import Kernel
+from repro.mm.page_cache import HOOK_ADD_TO_PAGE_CACHE
+from repro.units import GIB, MIB, PAGE_SIZE
+
+
+def test_default_wiring():
+    kernel = Kernel()
+    assert kernel.frames.total_frames == 256 * GIB // PAGE_SIZE
+    assert kernel.page_cache.frames is kernel.frames
+    assert kernel.kprobes.kfuncs is kernel.kfuncs
+    # The page cache declared its hook point.
+    assert kernel.kprobes.hook(HOOK_ADD_TO_PAGE_CACHE).ctx_size == 16
+
+
+def test_interpreter_clock_follows_env():
+    kernel = Kernel()
+    kernel.env.timeout(1.5)
+    kernel.env.run()
+    assert kernel.interpreter.time_ns() == int(1.5e9)
+
+
+def test_memory_in_use(kernel):
+    file = kernel.filestore.create("f", MIB)
+    kernel.page_cache.populate(file, 0, 4)
+    kernel.env.run()
+    assert kernel.memory_in_use_bytes() == 4 * PAGE_SIZE
+    kernel.drop_caches()
+    assert kernel.memory_in_use_bytes() == 0
+
+
+def test_spawn_space_owner(kernel):
+    assert kernel.spawn_space("x").owner == "x"
+    auto = kernel.spawn_space()
+    assert auto.owner.startswith("proc")
+
+
+def test_run_passthrough(kernel):
+    kernel.env.timeout(2.0)
+    kernel.run(until=1.0)
+    assert kernel.env.now == 1.0

@@ -1,0 +1,50 @@
+"""LRU ordering: recently-touched pages survive reclaim."""
+
+from repro.mm.kernel import Kernel
+from repro.units import MIB, PAGE_SIZE
+
+
+def test_recently_accessed_page_survives_eviction(env):
+    kernel = Kernel(env=env, ram_bytes=32 * PAGE_SIZE)
+    file = kernel.filestore.create("f", MIB)
+    kernel.page_cache.populate(file, 0, 32)
+    env.run()
+    # Touch page 0, making page 1 the coldest.
+    kernel.page_cache.lookup(file.ino, 0)
+    kernel.page_cache.populate(file, 100, 1)  # forces one eviction
+    env.run()
+    assert kernel.page_cache.resident(file.ino, 0)
+    assert not kernel.page_cache.resident(file.ino, 1)
+
+
+def test_eviction_skips_mapped_pages(env):
+    kernel = Kernel(env=env, ram_bytes=32 * PAGE_SIZE)
+    file = kernel.filestore.create("f", MIB)
+    kernel.page_cache.populate(file, 0, 32)
+    env.run()
+    # Map the two coldest pages; eviction must take the third.
+    for index in (0, 1):
+        kernel.page_cache.lookup(file.ino, index).frame.mapcount = 1
+    kernel.page_cache.lookup(file.ino, 31)  # warm the tail
+    kernel.page_cache.populate(file, 100, 1)
+    env.run()
+    assert kernel.page_cache.resident(file.ino, 0)
+    assert kernel.page_cache.resident(file.ino, 1)
+    assert not kernel.page_cache.resident(file.ino, 2)
+    for index in (0, 1):
+        kernel.page_cache.lookup(file.ino, index).frame.mapcount = 0
+
+
+def test_reclaim_raises_when_everything_pinned(env):
+    import pytest
+    from repro.mm.frames import OutOfMemory
+    kernel = Kernel(env=env, ram_bytes=8 * PAGE_SIZE)
+    file = kernel.filestore.create("f", MIB)
+    kernel.page_cache.populate(file, 0, 8)
+    env.run()
+    for index in range(8):
+        kernel.page_cache.lookup(file.ino, index).frame.mapcount = 1
+    with pytest.raises(OutOfMemory):
+        kernel.page_cache.populate(file, 100, 1)
+    for index in range(8):
+        kernel.page_cache.lookup(file.ino, index).frame.mapcount = 0

@@ -1,0 +1,86 @@
+"""Readahead state machine: windows, markers, mmap_miss heuristic."""
+
+from repro.mm.readahead import MMAP_LOTSAMISS, ReadaheadState
+
+
+FILE_PAGES = 10_000
+
+
+def test_disabled_readahead_reads_single_page():
+    ra = ReadaheadState(ra_pages=0)
+    plan = ra.on_cache_miss(100, FILE_PAGES)
+    assert (plan.start, plan.count) == (100, 1)
+    assert plan.marker is None
+
+
+def test_default_window_is_32_pages():
+    ra = ReadaheadState()
+    plan = ra.on_cache_miss(100, FILE_PAGES)
+    assert (plan.start, plan.count) == (100, 32)
+
+
+def test_marker_set_a_quarter_before_end():
+    ra = ReadaheadState()
+    plan = ra.on_cache_miss(0, FILE_PAGES)
+    assert plan.marker == 32 - 8
+
+
+def test_marker_hit_triggers_next_window():
+    ra = ReadaheadState()
+    ra.on_cache_miss(0, FILE_PAGES)
+    plan = ra.on_marker_hit(24, FILE_PAGES)
+    assert (plan.start, plan.count) == (25, 32)
+    assert plan.marker is not None
+
+
+def test_window_clipped_to_file_end():
+    ra = ReadaheadState()
+    plan = ra.on_cache_miss(FILE_PAGES - 5, FILE_PAGES)
+    assert plan.count == 5
+
+
+def test_mmap_miss_suppresses_random_readahead():
+    ra = ReadaheadState()
+    # Scattered misses: after MMAP_LOTSAMISS of them, windows collapse.
+    for i in range(MMAP_LOTSAMISS + 1):
+        plan = ra.on_cache_miss(i * 1000, FILE_PAGES * 1000)
+    assert plan.count == 1
+
+
+def test_sequential_misses_keep_full_windows():
+    ra = ReadaheadState()
+    plan = ra.on_cache_miss(0, FILE_PAGES)
+    for i in range(1, 200):
+        plan = ra.on_cache_miss(i, FILE_PAGES)
+    assert plan.count == 32
+
+
+def test_hits_decay_miss_counter():
+    ra = ReadaheadState()
+    for i in range(MMAP_LOTSAMISS + 1):
+        ra.on_cache_miss(i * 1000, FILE_PAGES * 1000)
+    assert ra.on_cache_miss(9_999_000, FILE_PAGES * 1000).count == 1
+    for i in range(MMAP_LOTSAMISS + 1):
+        ra.on_cache_hit(i)
+    plan = ra.on_cache_miss(5_000_000, FILE_PAGES * 1000)
+    assert plan.count == 32
+
+
+def test_stats_track_requested_pages():
+    ra = ReadaheadState()
+    ra.on_cache_miss(0, FILE_PAGES)
+    ra.on_marker_hit(24, FILE_PAGES)
+    assert ra.windows_issued == 2
+    assert ra.pages_requested == 64
+
+
+def test_no_marker_for_tiny_windows():
+    ra = ReadaheadState(ra_pages=2)
+    plan = ra.on_cache_miss(0, FILE_PAGES)
+    assert plan.marker is None
+
+
+def test_negative_ra_pages_rejected():
+    import pytest
+    with pytest.raises(ValueError):
+        ReadaheadState(ra_pages=-1)

@@ -1,0 +1,64 @@
+"""userfaultfd message queue semantics."""
+
+from tests.conftest import drive
+
+
+def test_notify_queues_message(kernel):
+    uffd = kernel.new_uffd()
+    uffd.notify(100, write=False)
+
+    def handler():
+        msg = yield uffd.read()
+        return (msg.vpn, msg.write)
+
+    assert drive(kernel.env, handler()) == (100, False)
+    assert uffd.faults_delivered == 1
+
+
+def test_duplicate_notify_joins_pending(kernel):
+    uffd = kernel.new_uffd()
+    wake1 = uffd.notify(100, write=False)
+    wake2 = uffd.notify(100, write=True)
+    assert wake1 is wake2
+    assert uffd.faults_delivered == 1
+    assert uffd.pending_vpns == [100]
+
+
+def test_resolve_wakes_waiters(kernel):
+    uffd = kernel.new_uffd()
+    wake = uffd.notify(100, write=False)
+
+    def waiter():
+        yield wake
+        return kernel.env.now
+
+    process = kernel.env.process(waiter())
+
+    def resolver():
+        yield kernel.env.timeout(3e-6)
+        uffd.resolve(100)
+
+    kernel.env.process(resolver())
+    kernel.env.run()
+    assert process.value == 3e-6
+    assert not uffd.is_pending(100)
+
+
+def test_resolve_unknown_vpn_is_noop(kernel):
+    uffd = kernel.new_uffd()
+    uffd.resolve(999)  # preemptive install before any fault
+
+
+def test_messages_fifo(kernel):
+    uffd = kernel.new_uffd()
+    for vpn in (5, 3, 9):
+        uffd.notify(vpn, write=False)
+    got = []
+
+    def handler():
+        for _ in range(3):
+            msg = yield uffd.read()
+            got.append(msg.vpn)
+
+    drive(kernel.env, handler())
+    assert got == [5, 3, 9]

@@ -1,0 +1,54 @@
+"""Poisson workload generation."""
+
+import pytest
+
+from repro.platform.workload import poisson_arrivals
+from repro.units import MIB
+from repro.workloads.profile import FunctionProfile
+
+
+def make_profile(name):
+    return FunctionProfile(name=name, mem_bytes=32 * MIB, ws_bytes=2 * MIB,
+                           alloc_bytes=MIB, compute_seconds=0.01, seed=5)
+
+
+def test_sorted_and_bounded():
+    mix = [(make_profile("a"), 5.0), (make_profile("b"), 2.0)]
+    arrivals = poisson_arrivals(mix, duration=10.0, seed=1)
+    times = [a.time for a in arrivals]
+    assert times == sorted(times)
+    assert all(0 <= t < 10.0 for t in times)
+
+
+def test_rates_approximately_honored():
+    mix = [(make_profile("a"), 8.0), (make_profile("b"), 2.0)]
+    arrivals = poisson_arrivals(mix, duration=200.0, seed=3)
+    a_count = sum(1 for x in arrivals if x.function == "a")
+    b_count = sum(1 for x in arrivals if x.function == "b")
+    assert a_count == pytest.approx(1600, rel=0.15)
+    assert b_count == pytest.approx(400, rel=0.2)
+
+
+def test_deterministic_per_seed():
+    mix = [(make_profile("a"), 3.0)]
+    assert (poisson_arrivals(mix, 20, seed=7)
+            == poisson_arrivals(mix, 20, seed=7))
+    assert (poisson_arrivals(mix, 20, seed=7)
+            != poisson_arrivals(mix, 20, seed=8))
+
+
+def test_input_seeds():
+    mix = [(make_profile("a"), 5.0)]
+    identical = poisson_arrivals(mix, 10, seed=1, vary_inputs=False)
+    assert {a.input_seed for a in identical} == {0}
+    varying = poisson_arrivals(mix, 10, seed=1, vary_inputs=True)
+    seeds = [a.input_seed for a in varying]
+    assert seeds == list(range(len(seeds)))
+
+
+def test_validation():
+    mix = [(make_profile("a"), 5.0)]
+    with pytest.raises(ValueError):
+        poisson_arrivals(mix, duration=0)
+    with pytest.raises(ValueError):
+        poisson_arrivals([(make_profile("a"), 0.0)], duration=1)

@@ -1,0 +1,269 @@
+"""DES engine semantics: events, timeouts, processes, conditions."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed(42)
+        env.run()
+        assert seen == [42]
+
+    def test_double_trigger_rejected(self, env):
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_processed_after_run(self, env):
+        event = env.event()
+        event.succeed()
+        assert event.triggered and not event.processed
+        env.run()
+        assert event.processed
+
+
+class TestTimeout:
+    def test_advances_clock(self, env):
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 5.0
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_ordering(self, env):
+        order = []
+        env.timeout(2.0).callbacks.append(lambda e: order.append("b"))
+        env.timeout(1.0).callbacks.append(lambda e: order.append("a"))
+        env.run()
+        assert order == ["a", "b"]
+
+    def test_same_time_fifo(self, env):
+        order = []
+        env.timeout(1.0).callbacks.append(lambda e: order.append(1))
+        env.timeout(1.0).callbacks.append(lambda e: order.append(2))
+        env.run()
+        assert order == [1, 2]
+
+    def test_timeout_value(self, env):
+        def proc():
+            value = yield env.timeout(1, value="hello")
+            return value
+        p = env.process(proc())
+        env.run()
+        assert p.value == "hello"
+
+
+class TestProcess:
+    def test_return_value(self, env):
+        def proc():
+            yield env.timeout(1)
+            return 99
+        p = env.process(proc())
+        env.run()
+        assert p.value == 99 and env.now == 1
+
+    def test_sequential_timeouts(self, env):
+        def proc():
+            yield env.timeout(1)
+            yield env.timeout(2)
+        env.process(proc())
+        env.run()
+        assert env.now == 3
+
+    def test_wait_on_other_process(self, env):
+        def inner():
+            yield env.timeout(3)
+            return "inner-done"
+        def outer():
+            result = yield env.process(inner())
+            return result
+        p = env.process(outer())
+        env.run()
+        assert p.value == "inner-done"
+
+    def test_yield_from_composition(self, env):
+        def sub():
+            yield env.timeout(1)
+            return 5
+        def main():
+            a = yield from sub()
+            b = yield from sub()
+            return a + b
+        p = env.process(main())
+        env.run()
+        assert p.value == 10 and env.now == 2
+
+    def test_no_yield_process(self, env):
+        def proc():
+            return 7
+            yield  # pragma: no cover
+        p = env.process(proc())
+        env.run()
+        assert p.value == 7
+
+    def test_exception_propagates_to_waiter(self, env):
+        def failing():
+            yield env.timeout(1)
+            raise ValueError("boom")
+        def waiter():
+            try:
+                yield env.process(failing())
+            except ValueError as exc:
+                return str(exc)
+        p = env.process(waiter())
+        env.run()
+        assert p.value == "boom"
+
+    def test_unhandled_process_exception_raises_at_run(self, env):
+        def failing():
+            yield env.timeout(1)
+            raise RuntimeError("unhandled")
+        env.process(failing())
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_yield_non_event_rejected(self, env):
+        def proc():
+            yield 42
+        env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_is_alive(self, env):
+        def proc():
+            yield env.timeout(1)
+        p = env.process(proc())
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_wait_already_processed_event(self, env):
+        event = env.event()
+        event.succeed("early")
+        env.run()
+        def proc():
+            value = yield event
+            return value
+        p = env.process(proc())
+        env.run()
+        assert p.value == "early"
+
+    def test_interrupt(self, env):
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, env.now)
+        p = env.process(sleeper())
+        def interrupter():
+            yield env.timeout(2)
+            p.interrupt("wake-up")
+        env.process(interrupter())
+        env.run()
+        assert p.value == ("interrupted", "wake-up", 2)
+
+    def test_interrupt_finished_process_rejected(self, env):
+        def quick():
+            yield env.timeout(1)
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestConditions:
+    def test_all_of(self, env):
+        t1, t2 = env.timeout(1, value="a"), env.timeout(3, value="b")
+        def proc():
+            results = yield env.all_of([t1, t2])
+            return sorted(results.values())
+        p = env.process(proc())
+        env.run()
+        assert p.value == ["a", "b"] and env.now == 3
+
+    def test_any_of(self, env):
+        t1, t2 = env.timeout(5, value="slow"), env.timeout(1, value="fast")
+        def proc():
+            results = yield env.any_of([t1, t2])
+            return list(results.values())
+        p = env.process(proc())
+        env.run(p)
+        assert p.value == ["fast"]
+
+    def test_all_of_empty(self, env):
+        def proc():
+            yield env.all_of([])
+            return "done"
+        p = env.process(proc())
+        env.run()
+        assert p.value == "done"
+
+    def test_all_of_failure_propagates(self, env):
+        def failing():
+            yield env.timeout(1)
+            raise ValueError("x")
+        def proc():
+            with pytest.raises(ValueError):
+                yield env.all_of([env.process(failing()), env.timeout(5)])
+            return True
+        p = env.process(proc())
+        env.run(p)
+        assert p.value is True
+
+
+class TestRun:
+    def test_run_until_time(self, env):
+        env.timeout(10)
+        env.run(until=5)
+        assert env.now == 5
+
+    def test_run_until_event(self, env):
+        t = env.timeout(4, value="v")
+        assert env.run(until=t) == "v"
+        assert env.now == 4
+
+    def test_run_until_event_starved(self, env):
+        event = env.event()  # never triggered
+        with pytest.raises(SimulationError):
+            env.run(until=event)
+
+    def test_peek(self, env):
+        assert env.peek() == float("inf")
+        env.timeout(7)
+        assert env.peek() == 7
+
+    def test_step_empty_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_clock_monotonic(self, env):
+        stamps = []
+        for delay in (3, 1, 2):
+            env.timeout(delay).callbacks.append(
+                lambda e: stamps.append(env.now))
+        env.run()
+        assert stamps == sorted(stamps)

@@ -1,0 +1,42 @@
+"""Property: a Resource never exceeds capacity and always drains."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(1, 8),
+    jobs=st.lists(st.tuples(st.floats(0.0, 5.0), st.floats(0.01, 2.0),
+                            st.integers(0, 10)),
+                  min_size=1, max_size=40),
+)
+def test_capacity_respected_and_all_jobs_finish(capacity, jobs):
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    active = [0]
+    peak = [0]
+    finished = [0]
+
+    def worker(delay, hold, priority):
+        yield env.timeout(delay)
+        request = resource.request(priority=priority)
+        yield request
+        active[0] += 1
+        peak[0] = max(peak[0], active[0])
+        try:
+            yield env.timeout(hold)
+        finally:
+            active[0] -= 1
+            resource.release(request)
+        finished[0] += 1
+
+    for delay, hold, priority in jobs:
+        env.process(worker(delay, hold, priority))
+    env.run()
+    assert finished[0] == len(jobs)
+    assert peak[0] <= capacity
+    assert resource.count == 0
+    assert resource.queue_length == 0

@@ -1,0 +1,76 @@
+"""I/O error injection and propagation through the stack."""
+
+import pytest
+
+from repro.storage.device import IOError_
+from repro.units import MIB
+from tests.conftest import drive
+
+
+def test_device_fails_injected_request(kernel):
+    file = kernel.filestore.create("f", MIB)
+    kernel.device.fail_next_requests = 1
+    event = kernel.filestore.read_pages(file, 0, 4)
+
+    def waiter():
+        with pytest.raises(IOError_):
+            yield event
+        return "saw-error"
+
+    assert drive(kernel.env, waiter()) == "saw-error"
+    assert kernel.device.stats.errors == 1
+
+
+def test_error_consumes_only_one_injection(kernel):
+    file = kernel.filestore.create("f", MIB)
+    kernel.device.fail_next_requests = 1
+
+    def sequence():
+        with pytest.raises(IOError_):
+            yield kernel.filestore.read_pages(file, 0, 1)
+        done = yield kernel.filestore.read_pages(file, 1, 1)
+        return done
+
+    drive(kernel.env, sequence())
+    assert kernel.device.stats.errors == 1
+    assert kernel.device.stats.requests == 1  # only the success counted
+
+
+def test_page_cache_drops_failed_pages_and_retries(kernel):
+    file = kernel.filestore.create("f", MIB)
+    kernel.device.fail_next_requests = 1
+    kernel.page_cache.populate(file, 0, 8)
+    kernel.env.run()
+    # Failed pages are gone — not stuck locked forever.
+    assert kernel.page_cache.cached_pages() == 0
+    assert kernel.frames.in_use == 0
+    # A retry succeeds.
+    kernel.page_cache.populate(file, 0, 8)
+    kernel.env.run()
+    assert kernel.page_cache.resident(file.ino, 7)
+
+
+def test_fault_path_surfaces_eio_to_waiter(kernel):
+    file = kernel.filestore.create("f", MIB)
+    space = kernel.spawn_space("vm")
+    space.mmap(64, file=file, at=1000, ra_pages=0)
+    kernel.device.fail_next_requests = 1
+
+    def faulter():
+        with pytest.raises(IOError_):
+            yield from space.handle_fault(1000, False)
+        return "sigbus"
+
+    assert drive(kernel.env, faulter()) == "sigbus"
+    # The mapping was never installed.
+    assert space.pte(1000) is None
+
+
+def test_unwaited_readahead_error_is_silent(kernel):
+    """A failing *async* readahead must not crash the simulation — like
+    Linux, the error surfaces only if someone later needs the page."""
+    file = kernel.filestore.create("f", MIB)
+    kernel.device.fail_next_requests = 1
+    kernel.page_cache.page_cache_ra_unbounded(file, 0, 32)
+    kernel.env.run()  # must not raise
+    assert kernel.page_cache.cached_pages() == 0

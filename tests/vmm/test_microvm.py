@@ -1,0 +1,59 @@
+"""MicroVM lifecycle."""
+
+import pytest
+
+from repro.vmm.microvm import GUEST_BASE_VPN, MicroVM
+from repro.vmm.snapshot import build_snapshot
+from repro.workloads.trace import Compute, TouchRun
+
+
+@pytest.fixture
+def snap(kernel, tiny_profile):
+    return build_snapshot(kernel, tiny_profile)
+
+
+def mmap_guest(vm, ra_pages=0):
+    vm.space.mmap(vm.snapshot.mem_pages, file=vm.snapshot.file,
+                  at=GUEST_BASE_VPN, ra_pages=ra_pages)
+
+
+def test_invoke_reports_e2e_from_spawn(kernel, snap):
+    vm = MicroVM(kernel, snap)
+    mmap_guest(vm)
+    trace = [Compute(0.1), TouchRun(0, 8, False, 0)]
+    p = kernel.env.process(vm.invoke(trace))
+    kernel.env.run(p)
+    stats = p.value
+    assert stats.e2e_seconds >= 0.1
+    assert stats.pages_touched == 8
+    assert stats.nested_faults == 8
+    assert stats.vm_id == vm.vm_id
+
+
+def test_unique_vm_ids(kernel, snap):
+    assert MicroVM(kernel, snap).vm_id != MicroVM(kernel, snap).vm_id
+
+
+def test_teardown_releases_private_memory(kernel, snap):
+    vm = MicroVM(kernel, snap)
+    mmap_guest(vm)
+    trace = [TouchRun(0, 8, True, 0)]  # write: CoW anon pages
+    p = kernel.env.process(vm.invoke(trace))
+    kernel.env.run(p)
+    assert kernel.frames.owner_frames(vm.vm_id) == 8
+    vm.teardown()
+    assert kernel.frames.owner_frames(vm.vm_id) == 0
+    assert not vm.kvm.ept
+
+
+def test_guest_vpn_translation(kernel, snap):
+    vm = MicroVM(kernel, snap)
+    assert vm.guest_vpn(5) == GUEST_BASE_VPN + 5
+
+
+def test_anon_bytes_reported(kernel, snap):
+    vm = MicroVM(kernel, snap)
+    mmap_guest(vm)
+    p = kernel.env.process(vm.invoke([TouchRun(0, 4, True, 0)]))
+    kernel.env.run(p)
+    assert p.value.anon_bytes_at_end == 4 * 4096

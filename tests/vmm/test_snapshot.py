@@ -1,0 +1,45 @@
+"""Snapshot building and metadata."""
+
+from repro.storage.filestore import ZERO_PAGE
+from repro.vmm.snapshot import build_snapshot
+
+
+def test_snapshot_file_sized_to_guest_memory(kernel, tiny_profile):
+    snap = build_snapshot(kernel, tiny_profile)
+    assert snap.file.size_bytes == tiny_profile.mem_bytes
+    assert snap.mem_pages == tiny_profile.mem_pages
+
+
+def test_metadata_mirrors_profile_layout(kernel, tiny_profile):
+    snap = build_snapshot(kernel, tiny_profile)
+    assert snap.meta.free_spans == tiny_profile.free_spans
+    assert snap.meta.free_pages == tiny_profile.free_pages_at_snapshot
+    assert not snap.meta.guest_zeroed
+
+
+def test_zeroed_variant_zeroes_exactly_free_pages(kernel, tiny_profile):
+    snap = build_snapshot(kernel, tiny_profile, zero_free_pages=True,
+                          suffix=".z")
+    zeros = set(snap.file.zero_pages())
+    assert zeros == set(snap.meta.iter_free_gfns())
+    assert snap.meta.guest_zeroed
+
+
+def test_unzeroed_variant_has_stale_content(kernel, tiny_profile):
+    snap = build_snapshot(kernel, tiny_profile)
+    assert snap.file.zero_pages() == []
+    some_free = next(snap.meta.iter_free_gfns())
+    assert snap.file.content(some_free) != ZERO_PAGE
+
+
+def test_free_gfn_set_cached_and_correct(kernel, tiny_profile):
+    snap = build_snapshot(kernel, tiny_profile)
+    s1 = snap.meta.free_gfns
+    assert s1 is snap.meta.free_gfns  # cached
+    assert len(s1) == snap.meta.free_pages
+
+
+def test_suffix_namespacing(kernel, tiny_profile):
+    a = build_snapshot(kernel, tiny_profile, suffix=".a")
+    b = build_snapshot(kernel, tiny_profile, suffix=".b")
+    assert a.file.ino != b.file.ino

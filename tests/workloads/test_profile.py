@@ -1,0 +1,95 @@
+"""Function profiles and the fragmented memory layout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.units import MIB, PAGE_SIZE
+from repro.workloads.profile import (
+    FAASMEM_FUNCTIONS,
+    FUNCTIONBENCH_FUNCTIONS,
+    FUNCTIONS,
+    FunctionProfile,
+    profile_by_name,
+)
+
+
+def test_thirteen_functions():
+    assert len(FUNCTIONS) == 13
+    assert len(FUNCTIONBENCH_FUNCTIONS) == 10
+    assert len(FAASMEM_FUNCTIONS) == 3
+    assert {p.name for p in FAASMEM_FUNCTIONS} == {"html", "bfs", "bert"}
+
+
+def test_profile_by_name():
+    assert profile_by_name("bert").name == "bert"
+    with pytest.raises(KeyError):
+        profile_by_name("quantum")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FunctionProfile("bad", mem_bytes=MIB, ws_bytes=2 * MIB,
+                        alloc_bytes=0, compute_seconds=0.1)
+    with pytest.raises(ValueError):
+        FunctionProfile("bad", mem_bytes=0, ws_bytes=MIB,
+                        alloc_bytes=0, compute_seconds=0.1)
+
+
+def _layout_invariants(profile):
+    used, free = profile.used_spans, profile.free_spans
+    spans = sorted(used + free)
+    # Exact partition of [0, mem_pages): no gaps, no overlaps.
+    cursor = 0
+    for start, length in spans:
+        assert start == cursor, "gap or overlap in layout"
+        assert length > 0
+        cursor += length
+    assert cursor == profile.mem_pages
+    # Exact free budget.
+    assert sum(l for _s, l in free) == profile.free_pages_at_snapshot
+    assert sum(l for _s, l in used) == profile.used_pages
+
+
+@pytest.mark.parametrize("profile", FUNCTIONS, ids=lambda p: p.name)
+def test_paper_profiles_layout(profile):
+    _layout_invariants(profile)
+    # The buddy pool can satisfy the function's allocations.
+    assert profile.free_pages_at_snapshot >= profile.alloc_pages
+    # The working set fits the in-use area.
+    assert profile.ws_pages <= profile.used_pages
+
+
+def test_layout_deterministic(tiny_profile):
+    assert tiny_profile.used_spans == tiny_profile.used_spans
+    clone = FunctionProfile(
+        name="tiny", mem_bytes=tiny_profile.mem_bytes,
+        ws_bytes=tiny_profile.ws_bytes, alloc_bytes=tiny_profile.alloc_bytes,
+        compute_seconds=tiny_profile.compute_seconds,
+        write_frac=tiny_profile.write_frac,
+        run_len_mean=tiny_profile.run_len_mean, seed=tiny_profile.seed)
+    assert clone.free_spans == tiny_profile.free_spans
+
+
+def test_free_memory_is_fragmented(tiny_profile):
+    # More than one free span: fragmentation is the point.
+    assert len(tiny_profile.free_spans) > 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mem_mib=st.integers(16, 256),
+    ws_frac=st.floats(0.05, 0.5),
+    alloc_frac=st.floats(0.0, 0.3),
+    free_span=st.floats(4, 64),
+    seed=st.integers(0, 1000),
+)
+def test_layout_invariants_property(mem_mib, ws_frac, alloc_frac,
+                                    free_span, seed):
+    mem = mem_mib * MIB
+    profile = FunctionProfile(
+        name="prop", mem_bytes=mem,
+        ws_bytes=max(PAGE_SIZE, int(mem * ws_frac)),
+        alloc_bytes=int(mem * alloc_frac),
+        compute_seconds=0.1, free_span_pages=free_span, seed=seed)
+    _layout_invariants(profile)

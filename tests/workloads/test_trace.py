@@ -1,0 +1,96 @@
+"""Trace generation invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.units import MIB
+from repro.workloads.profile import FunctionProfile
+from repro.workloads.trace import (
+    Alloc,
+    Compute,
+    Free,
+    TouchRun,
+    generate_trace,
+    trace_alloc_pages,
+    trace_compute_seconds,
+    working_set_pages,
+)
+
+
+def test_deterministic_per_seed(tiny_profile):
+    assert generate_trace(tiny_profile, 0) == generate_trace(tiny_profile, 0)
+
+
+def test_different_input_seed_changes_trace(tiny_profile):
+    assert generate_trace(tiny_profile, 0) != generate_trace(tiny_profile, 1)
+
+
+def test_ws_size_matches_profile(tiny_profile):
+    trace = generate_trace(tiny_profile, 0)
+    assert len(working_set_pages(trace)) == tiny_profile.ws_pages
+
+
+def test_ws_within_used_spans(tiny_profile):
+    used = set()
+    for start, length in tiny_profile.used_spans:
+        used.update(range(start, start + length))
+    assert set(working_set_pages(generate_trace(tiny_profile, 0))) <= used
+
+
+def test_ws_runs_disjoint(tiny_profile):
+    trace = generate_trace(tiny_profile, 0)
+    pages = [p for op in trace if isinstance(op, TouchRun)
+             for p in range(op.start, op.start + op.count)]
+    assert len(pages) == len(set(pages))
+
+
+def test_alloc_volume_matches_profile(tiny_profile):
+    trace = generate_trace(tiny_profile, 0)
+    assert trace_alloc_pages(trace) == tiny_profile.alloc_pages
+
+
+def test_every_alloc_freed(tiny_profile):
+    trace = generate_trace(tiny_profile, 0)
+    allocated = {op.tag for op in trace if isinstance(op, Alloc)}
+    freed = {op.tag for op in trace if isinstance(op, Free)}
+    assert allocated == freed and allocated
+
+
+def test_frees_after_allocs(tiny_profile):
+    trace = generate_trace(tiny_profile, 0)
+    alloc_pos = {op.tag: i for i, op in enumerate(trace)
+                 if isinstance(op, Alloc)}
+    for i, op in enumerate(trace):
+        if isinstance(op, Free):
+            assert alloc_pos[op.tag] < i
+
+
+def test_compute_budget_respected(tiny_profile):
+    trace = generate_trace(tiny_profile, 0)
+    assert trace_compute_seconds(trace) == pytest.approx(
+        tiny_profile.compute_seconds, rel=0.01)
+
+
+def test_writes_present_with_write_frac(tiny_profile):
+    trace = generate_trace(tiny_profile, 0)
+    writes = [op for op in trace if isinstance(op, TouchRun) and op.write]
+    reads = [op for op in trace if isinstance(op, TouchRun) and not op.write]
+    assert writes and reads
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 500), input_seed=st.integers(0, 10))
+def test_trace_invariants_property(seed, input_seed):
+    profile = FunctionProfile(
+        name="prop", mem_bytes=32 * MIB, ws_bytes=3 * MIB,
+        alloc_bytes=2 * MIB, compute_seconds=0.05, run_len_mean=6.0,
+        seed=seed)
+    trace = generate_trace(profile, input_seed)
+    assert len(working_set_pages(trace)) == profile.ws_pages
+    assert trace_alloc_pages(trace) == profile.alloc_pages
+    mem = profile.mem_pages
+    for op in trace:
+        if isinstance(op, TouchRun):
+            assert 0 <= op.start and op.start + op.count <= mem
+            assert op.count > 0
