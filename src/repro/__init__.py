@@ -29,6 +29,8 @@ Layers (bottom-up):
 from repro.baselines import FaaSnap, Faast, LinuxNoRA, LinuxRA, REAP
 from repro.baselines.base import Approach, approach_registry
 from repro.core import PVPTEsOnly, SnapBPF
+from repro.faults import FaultConfig, FaultSchedule, RetryPolicy
+from repro.harness.chaos import run_chaos_scenario
 from repro.harness.experiment import ResultCache, make_kernel, run_scenario
 from repro.metrics.results import ScenarioResult
 from repro.mm.kernel import Kernel
@@ -49,6 +51,8 @@ __all__ = [
     "FaaSNode",
     "FaaSnap",
     "Faast",
+    "FaultConfig",
+    "FaultSchedule",
     "FunctionProfile",
     "FunctionSnapshot",
     "FUNCTIONS",
@@ -63,6 +67,7 @@ __all__ = [
     "PVPTEsOnly",
     "REAP",
     "ResultCache",
+    "RetryPolicy",
     "ScenarioResult",
     "SnapBPF",
     "approach_registry",
@@ -71,6 +76,7 @@ __all__ = [
     "make_kernel",
     "poisson_arrivals",
     "profile_by_name",
+    "run_chaos_scenario",
     "run_scenario",
     "__version__",
 ]

@@ -6,10 +6,13 @@ Commands:
   table1                       regenerate the paper's Table 1
   fig {3a,3b,3c,4,overheads}   regenerate one figure (optionally subset
                                functions with --functions json,bert)
+  chaos FN [APPROACH ...]      serve a request train under a seeded fault
+                               schedule; report degradation counters
 
 Examples:
   python -m repro run bert snapbpf -n 10
   python -m repro fig 3c --functions bfs,bert
+  python -m repro chaos json snapbpf linux-ra --fault-seed 7
 """
 
 from __future__ import annotations
@@ -18,7 +21,9 @@ import argparse
 import sys
 
 from repro import GIB, MIB, FUNCTIONS, approach_registry, profile_by_name, run_scenario
+from repro.faults import FaultConfig
 from repro.harness import figures as F
+from repro.harness.chaos import DEFAULT_CHAOS, render_chaos, run_chaos_scenario
 from repro.harness.experiment import ResultCache
 from repro.harness.report import render_figure, render_table1
 
@@ -71,6 +76,46 @@ def cmd_fig(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    try:
+        profile = profile_by_name(args.function)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    known = sorted(approach_registry())
+    approaches = args.approaches or known
+    for name in approaches:
+        if name not in known:
+            print(f"error: unknown approach {name!r}; choose from {known}",
+                  file=sys.stderr)
+            return 2
+    config = DEFAULT_CHAOS
+    if args.attach_failure_rate or args.media_error_rate is not None:
+        try:
+            config = FaultConfig(
+                media_error_rate=(DEFAULT_CHAOS.media_error_rate
+                                  if args.media_error_rate is None
+                                  else args.media_error_rate),
+                persistent_fraction=DEFAULT_CHAOS.persistent_fraction,
+                latency_spike_rate=DEFAULT_CHAOS.latency_spike_rate,
+                latency_spike_multiplier=(
+                    DEFAULT_CHAOS.latency_spike_multiplier),
+                torn_page_rate=DEFAULT_CHAOS.torn_page_rate,
+                attach_failure_rate=args.attach_failure_rate,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    results = [run_chaos_scenario(profile, name, config=config,
+                                  fault_seed=args.fault_seed,
+                                  n_requests=args.requests,
+                                  request_deadline=args.deadline,
+                                  device_kind=args.device)
+               for name in approaches]
+    print(render_chaos(results))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="SnapBPF reproduction harness")
@@ -96,9 +141,26 @@ def main(argv: list[str] | None = None) -> int:
     fig_parser.add_argument("--functions", default="",
                             help="comma-separated subset of functions")
 
+    chaos_parser = sub.add_parser(
+        "chaos", help="serve requests under a seeded fault schedule")
+    chaos_parser.add_argument("function")
+    chaos_parser.add_argument("approaches", nargs="*",
+                              metavar="approach",
+                              help="approaches to stress (default: all)")
+    chaos_parser.add_argument("--fault-seed", type=int, default=0)
+    chaos_parser.add_argument("-n", "--requests", type=int, default=8)
+    chaos_parser.add_argument("--deadline", type=float, default=None,
+                              help="per-request deadline in seconds")
+    chaos_parser.add_argument("--media-error-rate", type=float, default=None,
+                              help="override the default 1%% media error rate")
+    chaos_parser.add_argument("--attach-failure-rate", type=float, default=0.0,
+                              help="probability each BPF attach fails")
+    chaos_parser.add_argument("--device", choices=("ssd", "hdd"),
+                              default="ssd")
+
     args = parser.parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "table1": cmd_table1,
-               "fig": cmd_fig}[args.command]
+               "fig": cmd_fig, "chaos": cmd_chaos}[args.command]
     return handler(args)
 
 

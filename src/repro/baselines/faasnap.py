@@ -106,6 +106,9 @@ class FaaSnap(Approach):
         self._zero_ranges: list[tuple[int, int]] = []
         self._ws_file = None
         self.ws_pages_exact = 0
+        #: Fault plane: prefetch chunks abandoned on I/O error (their
+        #: pages are demand-paged by the vCPU instead).
+        self.prefetch_aborts = 0
 
     # -- record phase ------------------------------------------------------------------
     def prepare(self, profile: FunctionProfile, record_trace):
@@ -238,8 +241,14 @@ class FaaSnap(Approach):
                 if vm.space.dead:
                     return  # sandbox torn down mid-prefetch
                 count = min(PREFETCH_CHUNK_PAGES, end - pos)
-                fill_cost = yield from cache.read_range(self._ws_file, pos,
-                                                        count)
+                try:
+                    fill_cost = yield from cache.read_range(self._ws_file,
+                                                            pos, count)
+                except IOError:
+                    # Abandon this chunk; the vCPU demand-pages it.
+                    self.prefetch_aborts += 1
+                    pos += count
+                    continue
                 yield env.timeout(fill_cost + costs.syscall
                                   + count * costs.memcpy_page)
                 pos += count

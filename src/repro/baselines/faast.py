@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from repro.baselines.base import register_approach
 from repro.baselines.reap import REAP
-from repro.workloads.profile import FunctionProfile
 
 
 @register_approach

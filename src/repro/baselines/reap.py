@@ -47,6 +47,14 @@ class REAP(Approach):
         self._ws_contents: list[int] = []
         self._ws_file = None
         self._ws_pos: dict[int, int] = {}
+        #: Fault plane: transient fetch errors healed by handler retry.
+        self.demand_retries = 0
+        #: Fault plane: fetches that exhausted the retry budget — the
+        #: faulting thread saw EIO through the uffd.
+        self.demand_fetch_failures = 0
+        #: Fault plane: prefetch chunks abandoned on I/O error (their
+        #: pages fall through to the demand handler).
+        self.prefetch_aborts = 0
 
     # -- record phase ---------------------------------------------------------------
     def prepare(self, profile: FunctionProfile, record_trace):
@@ -80,7 +88,13 @@ class REAP(Approach):
         while True:
             msg = yield uffd.read()
             gfn = msg.vpn - vm.guest_base_vpn
-            content, io_cost = yield from self._record_fetch(gfn)
+            try:
+                content, io_cost = yield from self._fetch_retrying(
+                    self._record_fetch, gfn)
+            except IOError as error:
+                self.demand_fetch_failures += 1
+                uffd.fail(msg.vpn, error)
+                continue
             yield self.kernel.env.timeout(costs.uffd_copy_ioctl + io_cost)
             if not vm.space.pte_present(msg.vpn):
                 vm.space.install_anon(msg.vpn, content=content)
@@ -129,7 +143,15 @@ class REAP(Approach):
             if vm.space.dead:
                 return  # sandbox torn down mid-prefetch
             count = min(PREFETCH_CHUNK_PAGES, len(order) - pos)
-            yield self.kernel.filestore.read_pages(self._ws_file, pos, count)
+            try:
+                yield self.kernel.filestore.read_pages(self._ws_file, pos,
+                                                       count)
+            except IOError:
+                # Abandon this chunk: its pages fall through to the
+                # demand handler (which has its own retry ladder).
+                self.prefetch_aborts += 1
+                pos += count
+                continue
             todo = [i for i in range(pos, pos + count)
                     if not vm.space.pte_present(vm.guest_vpn(order[i]))]
             if todo:
@@ -155,12 +177,35 @@ class REAP(Approach):
                 uffd.resolve(vpn)
                 continue
             gfn = vpn - vm.guest_base_vpn
-            content, extra = yield from self._demand_fetch(gfn)
+            try:
+                content, extra = yield from self._fetch_retrying(
+                    self._demand_fetch, gfn)
+            except IOError as error:
+                self.demand_fetch_failures += 1
+                uffd.fail(vpn, error)
+                continue
             yield env.timeout(costs.uffd_copy_ioctl + costs.memcpy_page
                               + extra)
             if not vm.space.pte_present(vpn):
                 vm.space.install_anon(vpn, content=content)
             uffd.resolve(vpn)
+
+    def _fetch_retrying(self, fetch, gfn: int):
+        """Generator: drive ``fetch(gfn)`` under the kernel's bounded
+        transient-retry ladder (direct I/O bypasses the page cache, so
+        the handler retries in userspace); re-raises once exhausted."""
+        policy = self.kernel.page_cache.retry_policy
+        attempt = 1
+        while True:
+            try:
+                return (yield from fetch(gfn))
+            except IOError as error:
+                if policy is None or not policy.should_retry(
+                        attempt, getattr(error, "transient", False)):
+                    raise
+                self.demand_retries += 1
+                yield self.kernel.env.timeout(policy.backoff(attempt))
+                attempt += 1
 
     def _demand_fetch(self, gfn: int):
         """Generator: fetch one page on demand; returns (content, extra_cost).

@@ -28,7 +28,10 @@ from repro.core.progs import (
     make_state_map,
     make_ws_map,
 )
+from repro.ebpf.kprobe import AttachError
 from repro.mm.page_cache import HOOK_ADD_TO_PAGE_CACHE
+from repro.mm.readahead import ReadaheadState
+from repro.units import DEFAULT_READAHEAD_PAGES
 from repro.vmm.microvm import GUEST_BASE_VPN, MicroVM
 from repro.vmm.snapshot import build_snapshot
 from repro.workloads.profile import FunctionProfile
@@ -64,6 +67,14 @@ class SnapBPF(Approach):
         #: "SnapBPF Overheads" measurement.
         self.map_load_seconds: dict[str, float] = {}
         self.captured_pages = 0
+        #: Fault plane: capture program attaches that failed during
+        #: prepare (recording proceeds without eBPF capture).
+        self.capture_attach_failures = 0
+        #: Fault plane: spawns that degraded to plain demand paging with
+        #: kernel readahead (Linux-baseline behaviour) because prefetch
+        #: setup failed — metadata unreadable, groups map overflowed
+        #: after a capacity squeeze, or the program would not attach.
+        self.prefetch_fallbacks = 0
 
     # -- record phase -------------------------------------------------------------
     def prepare(self, profile: FunctionProfile, record_trace):
@@ -71,9 +82,17 @@ class SnapBPF(Approach):
         costs = self.kernel.costs
         self.snapshot = build_snapshot(self.kernel, profile,
                                        suffix=f".{self.name}")
-        ws_map = make_ws_map(f"ws_{profile.name}")
+        ws_map = make_ws_map(
+            f"ws_{profile.name}",
+            max_entries=self.kernel.kprobes.map_capacity(1 << 21))
         capture = build_capture_program(self.snapshot.file.ino, ws_map)
-        self.kernel.kprobes.attach(HOOK_ADD_TO_PAGE_CACHE, capture)
+        try:
+            self.kernel.kprobes.attach(HOOK_ADD_TO_PAGE_CACHE, capture)
+        except AttachError:
+            # Degrade: record without eBPF capture.  The working set
+            # comes out empty and every later spawn demand-pages.
+            self.capture_attach_failures += 1
+            capture = None
         yield env.timeout(costs.bpf_prog_attach)
         try:
             vm = MicroVM(self.kernel, self.snapshot,
@@ -84,16 +103,18 @@ class SnapBPF(Approach):
                           at=GUEST_BASE_VPN, ra_pages=0, name="guest-mem")
             yield from self._run_record_vm(vm, record_trace)
         finally:
-            self.kernel.kprobes.detach(HOOK_ADD_TO_PAGE_CACHE, capture)
+            if capture is not None:
+                self.kernel.kprobes.detach(HOOK_ADD_TO_PAGE_CACHE, capture)
 
         # VMM drains the offsets map, groups + sorts, stores metadata.
         entries = ws_map.items_u64()
         yield env.timeout(len(entries) * costs.bpf_map_lookup)
         self.captured_pages = len(entries)
         self.groups = group_offsets((idx, ts[0]) for idx, ts in entries)
-        self._meta_file = self.kernel.filestore.create(
-            f"{profile.name}.{self.name}.groups",
-            groups_metadata_bytes(self.groups))
+        meta_bytes = groups_metadata_bytes(self.groups)
+        self._meta_file = (self.kernel.filestore.create(
+            f"{profile.name}.{self.name}.groups", meta_bytes)
+            if meta_bytes > 0 else None)
         self.prepared = True
 
     # -- invocation phase ----------------------------------------------------------
@@ -105,29 +126,40 @@ class SnapBPF(Approach):
         vm = MicroVM(self.kernel, snapshot, pv_marking=self.pv_marking,
                      patched_cow=self.patched_cow, vm_id=vm_id)
         vm._spawn_time = start
-        vm.space.mmap(snapshot.mem_pages, file=snapshot.file,
-                      at=GUEST_BASE_VPN, ra_pages=self.ra_pages,
-                      name="guest-mem")
+        vma = vm.space.mmap(snapshot.mem_pages, file=snapshot.file,
+                            at=GUEST_BASE_VPN, ra_pages=self.ra_pages,
+                            name="guest-mem")
         yield env.timeout(costs.mmap_region)
 
-        # (1) Read the grouped offsets from disk and load them into the
-        # eBPF array map.
-        if self._meta_file is not None:
-            yield self.kernel.filestore.read_pages(
-                self._meta_file, 0, self._meta_file.size_pages)
-        groups_map = make_groups_map(f"groups_{vm.vm_id}", len(self.groups))
-        state_map = make_state_map(f"state_{vm.vm_id}")
-        load_groups(groups_map, self.groups)
-        map_load = len(self.groups) * costs.bpf_map_update
-        self.map_load_seconds[vm.vm_id] = map_load
-        yield env.timeout(map_load)
+        vm._snapbpf_prog = None  # for cleanup in post_invoke
+        try:
+            # (1) Read the grouped offsets from disk and load them into
+            # the eBPF array map.
+            if self._meta_file is not None:
+                yield self.kernel.filestore.read_pages(
+                    self._meta_file, 0, self._meta_file.size_pages)
+            granted = self.kernel.kprobes.map_capacity(len(self.groups))
+            groups_map = make_groups_map(f"groups_{vm.vm_id}", granted)
+            state_map = make_state_map(f"state_{vm.vm_id}")
+            load_groups(groups_map, self.groups)
+            map_load = len(self.groups) * costs.bpf_map_update
+            yield env.timeout(map_load)
 
-        # (2) Attach the prefetch program (verified on attach).
-        prog = build_prefetch_program(snapshot.file.ino, groups_map,
-                                      state_map)
-        self.kernel.kprobes.attach(HOOK_ADD_TO_PAGE_CACHE, prog)
-        yield env.timeout(costs.bpf_prog_attach)
-        vm._snapbpf_prog = prog  # for cleanup in post_invoke
+            # (2) Attach the prefetch program (verified on attach).
+            prog = build_prefetch_program(snapshot.file.ino, groups_map,
+                                          state_map)
+            self.kernel.kprobes.attach(HOOK_ADD_TO_PAGE_CACHE, prog)
+            yield env.timeout(costs.bpf_prog_attach)
+            vm._snapbpf_prog = prog
+            self.map_load_seconds[vm.vm_id] = map_load
+        except (ValueError, OSError):
+            # Metadata unreadable, groups map squeezed below the group
+            # count, or the prefetch program refused to attach: fall
+            # back to plain demand paging with default kernel readahead
+            # — the Linux-baseline ladder rung.  The sandbox still
+            # completes; it just cold-starts the slow way.
+            self.prefetch_fallbacks += 1
+            vma.ra = ReadaheadState(DEFAULT_READAHEAD_PAGES)
 
         vm.setup_seconds = env.now - start
 

@@ -46,7 +46,7 @@ from repro.ebpf.helpers import (
 )
 from repro.ebpf.insn import R0, R1, R2, R3, R4, R6, R7, R8, R10
 from repro.ebpf.kprobe import RET_DETACH_SELF
-from repro.ebpf.maps import ArrayMap, BpfMap, HashMap
+from repro.ebpf.maps import ArrayMap, HashMap
 
 
 def make_ws_map(name: str, max_entries: int = 1 << 21) -> HashMap:

@@ -36,6 +36,12 @@ class KprobeError(ValueError):
     """Unknown hook point, double attach, or detach of missing program."""
 
 
+class AttachError(KprobeError):
+    """A structurally valid attach failed at runtime (resource
+    exhaustion, injected fault) — the failure mode the host must handle
+    by degrading, not the programmer error :class:`KprobeError` models."""
+
+
 @dataclass
 class HookPoint:
     """One hookable kernel function."""
@@ -54,6 +60,11 @@ class KprobeManager:
         self.kfuncs = kfuncs or KfuncRegistry()
         self.interpreter = interpreter or Interpreter(kfuncs=self.kfuncs)
         self._hooks: dict[str, HookPoint] = {}
+        #: Fault plane hook (duck-typed; see repro.faults).  When set,
+        #: ``fault_injector.on_attach`` may veto an attach by raising
+        #: :class:`AttachError`, and ``fault_injector.map_capacity``
+        #: clamps requested BPF map sizes.
+        self.fault_injector = None
         #: CPU seconds accumulated by kfunc side effects during a fire
         #: (e.g. snapbpf_prefetch allocating cache pages); drained into
         #: the fire() return value so the triggering kernel path pays.
@@ -79,7 +90,15 @@ class KprobeManager:
             raise KprobeError(
                 f"program {program.name!r} already attached to {name!r}")
         Verifier(ctx_size=hook.ctx_size, kfuncs=self.kfuncs).verify(program)
+        if self.fault_injector is not None:
+            self.fault_injector.on_attach(name, program)
         hook.programs.append(program)
+
+    def map_capacity(self, requested: int) -> int:
+        """Grantable capacity for a new BPF map (fault plane may clamp)."""
+        if self.fault_injector is not None:
+            return self.fault_injector.map_capacity(requested)
+        return requested
 
     def detach(self, name: str, program: Program) -> None:
         hook = self.hook(name)

@@ -37,7 +37,6 @@ from repro.ebpf.insn import (
     Call,
     CallKfunc,
     Exit,
-    Insn,
     Jmp,
     Load,
     LoadMapFd,
@@ -283,6 +282,16 @@ class Verifier:
             if isinstance(val, (PtrToMapValueOrNull, ConstPtrToMap)):
                 raise VerificationError(
                     pc, f"comparison on unchecked/const map pointer ({operand})")
+        # Pointers admit only the exact NULL-check shape the runtime
+        # accepts, `jeq/jne ptr, 0`.  Anything else — nonzero immediate,
+        # relational op, or a pointer in the src operand — faults in the
+        # interpreter, so reject it here.
+        if src_val is not None and not isinstance(src_val, Scalar):
+            raise VerificationError(pc, "pointer in jump src operand")
+        if not isinstance(dst_val, Scalar) and not (
+                insn.op in ("jeq", "jne") and insn.src is None
+                and insn.imm == 0):
+            raise VerificationError(pc, "pointer comparison beyond NULL check")
         return [(target, state), (pc + 1, state)]
 
     # .. memory ...............................................................

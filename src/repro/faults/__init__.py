@@ -1,0 +1,50 @@
+"""The fault plane: deterministic fault injection for every layer.
+
+A serverless platform restoring thousands of snapshots lives on its
+error paths — media errors, tail-latency device degradation, torn
+snapshot pages, BPF attach failures, map exhaustion.  This package
+provides one seeded :class:`FaultSchedule` whose per-layer injectors
+plug into the storage device, the file store, and the eBPF runtime, so
+that a whole chaos run is reproducible from a single RNG seed:
+
+* :class:`DeviceFaultInjector` — transient vs. persistent media errors
+  and latency-spike / degraded-mode service-time multipliers on
+  :class:`~repro.storage.device.BlockDevice`;
+* :class:`FileStoreFaultInjector` — torn/corrupt snapshot pages
+  surfacing as :class:`~repro.storage.filestore.TornPageError`;
+* :class:`EbpfFaultInjector` — program attach/verify failures and map
+  capacity exhaustion.
+
+The degradation machinery that *consumes* faults lives with each layer
+(page-cache retry/backoff, SnapBPF's demand-paging fallback, node-level
+deadlines and cold-start retries); :class:`RetryPolicy` here is the
+shared knob for bounded exponential backoff.
+"""
+
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import (
+    FaultConfig,
+    FaultSchedule,
+    FaultStats,
+)
+from repro.faults.injectors import (
+    PERSISTENT,
+    TRANSIENT,
+    DeviceFaultDecision,
+    DeviceFaultInjector,
+    EbpfFaultInjector,
+    FileStoreFaultInjector,
+)
+
+__all__ = [
+    "DeviceFaultDecision",
+    "DeviceFaultInjector",
+    "EbpfFaultInjector",
+    "FaultConfig",
+    "FaultSchedule",
+    "FaultStats",
+    "FileStoreFaultInjector",
+    "PERSISTENT",
+    "RetryPolicy",
+    "TRANSIENT",
+]

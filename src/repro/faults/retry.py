@@ -1,0 +1,39 @@
+"""Bounded exponential backoff — the shared degradation knob.
+
+Used by the page cache for transient I/O errors (re-issue the failed
+read after a backoff instead of SIGBUSing every waiter) and available to
+any other layer that wants the same ladder.  Attempts are counted from
+1, so ``max_attempts=3`` means one initial try plus two retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a transient failure, and how patiently."""
+
+    #: Total attempts, the first try included.
+    max_attempts: int = 3
+    #: Backoff before the first retry (seconds).
+    backoff_base: float = 500e-6
+    #: Geometric growth factor between consecutive retries.
+    backoff_multiplier: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def should_retry(self, attempt: int, transient: bool) -> bool:
+        """Whether attempt number ``attempt`` (1-based) may be retried."""
+        return transient and attempt < self.max_attempts
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before the retry that follows attempt ``attempt``."""
+        return self.backoff_base * self.backoff_multiplier ** (attempt - 1)

@@ -1,0 +1,112 @@
+"""Seeded fault schedules.
+
+A :class:`FaultSchedule` owns one sub-seeded RNG stream per layer
+(device, filestore, ebpf) plus a shared :class:`FaultStats` counter
+block.  Because the simulation is a deterministic discrete-event system,
+per-request draws happen in a reproducible order, so a whole chaos run
+is a pure function of ``(workload seed, fault seed, config)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault rates and severities for one schedule.
+
+    Rates are per-opportunity probabilities (per device request, per
+    snapshot-file read, per program attach); multipliers scale service
+    times.  The default config injects nothing.
+    """
+
+    #: Probability that a device request fails with a media error.
+    media_error_rate: float = 0.0
+    #: Fraction of injected media errors that are persistent (the
+    #: extent stays bad; retries see the same error).
+    persistent_fraction: float = 0.0
+    #: Probability that a request hits a latency spike.
+    latency_spike_rate: float = 0.0
+    #: Service-time multiplier applied to spiked requests.
+    latency_spike_multiplier: float = 8.0
+    #: Service-time multiplier applied to *every* request (degraded
+    #: mode, e.g. a device doing background media scans).
+    degraded_multiplier: float = 1.0
+    #: Probability that a snapshot-file read surfaces a torn page.
+    torn_page_rate: float = 0.0
+    #: Probability that a BPF program attach fails.
+    attach_failure_rate: float = 0.0
+    #: If set, clamp requested BPF map capacities to this many entries.
+    map_capacity_cap: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("media_error_rate", "persistent_fraction",
+                     "latency_spike_rate", "torn_page_rate",
+                     "attach_failure_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.latency_spike_multiplier < 1.0:
+            raise ValueError("latency_spike_multiplier must be >= 1")
+        if self.degraded_multiplier < 1.0:
+            raise ValueError("degraded_multiplier must be >= 1")
+        if self.map_capacity_cap is not None and self.map_capacity_cap < 1:
+            raise ValueError("map_capacity_cap must be >= 1")
+
+
+@dataclass
+class FaultStats:
+    """Counters for everything the schedule injected."""
+
+    media_errors: int = 0
+    persistent_errors: int = 0
+    latency_spikes: int = 0
+    torn_pages: int = 0
+    attach_failures: int = 0
+    map_squeezes: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class FaultSchedule:
+    """One seeded schedule with per-layer injectors.
+
+    ``install(kernel)`` plugs the injectors into a kernel's device,
+    file store, and kprobe manager; layers that were never installed
+    simply run fault-free.
+    """
+
+    seed: int = 0
+    config: FaultConfig = field(default_factory=FaultConfig)
+
+    def __post_init__(self) -> None:
+        # Deferred import: injectors pull in storage/ebpf error types.
+        from repro.faults.injectors import (
+            DeviceFaultInjector,
+            EbpfFaultInjector,
+            FileStoreFaultInjector,
+        )
+
+        self.stats = FaultStats()
+        self.device = DeviceFaultInjector(
+            self._stream("device"), self.config, self.stats)
+        self.filestore = FileStoreFaultInjector(
+            self._stream("filestore"), self.config, self.stats)
+        self.ebpf = EbpfFaultInjector(
+            self._stream("ebpf"), self.config, self.stats)
+
+    def _stream(self, layer: str) -> random.Random:
+        """An independent, layer-local RNG derived from the seed."""
+        return random.Random(f"faults:{self.seed}:{layer}")
+
+    def install(self, kernel) -> "FaultSchedule":
+        """Attach this schedule's injectors to a kernel's layers."""
+        kernel.faults = self
+        kernel.device.fault_injector = self.device
+        kernel.filestore.fault_injector = self.filestore
+        kernel.kprobes.fault_injector = self.ebpf
+        return self

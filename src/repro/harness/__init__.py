@@ -1,5 +1,12 @@
 """Experiment harness: scenario runner + figure/table regeneration."""
 
+from repro.harness.chaos import (
+    DEFAULT_CHAOS,
+    ChaosResult,
+    fixed_interval_arrivals,
+    render_chaos,
+    run_chaos_scenario,
+)
 from repro.harness.experiment import ResultCache, make_kernel, run_scenario
 from repro.harness.figures import (
     CONCURRENT_INSTANCES,
@@ -15,17 +22,22 @@ from repro.harness.report import render_figure, render_table, render_table1
 
 __all__ = [
     "CONCURRENT_INSTANCES",
+    "ChaosResult",
+    "DEFAULT_CHAOS",
     "FigureData",
     "ResultCache",
     "figure_3a",
     "figure_3b",
     "figure_3c",
     "figure_4",
+    "fixed_interval_arrivals",
     "make_kernel",
     "overheads",
+    "render_chaos",
     "render_figure",
     "render_table",
     "render_table1",
+    "run_chaos_scenario",
     "run_scenario",
     "table_1",
 ]

@@ -1,0 +1,175 @@
+"""Chaos harness: run the baselines under a deterministic fault schedule.
+
+One chaos scenario = one :class:`~repro.platform.node.FaaSNode` serving a
+fixed-interval request train while a seeded
+:class:`~repro.faults.FaultSchedule` injects media errors, latency
+spikes, torn snapshot pages, and BPF attach failures.  The record phase
+runs clean (operators stage snapshots under controlled conditions);
+chaos applies to serving, which is where the paper's latency race — and
+therefore the degradation ladder — lives.
+
+The whole run is a pure function of ``(profile, approach, config,
+fault_seed)``: :meth:`ChaosResult.fingerprint` is byte-identical across
+runs and processes with the same seed, which is what the determinism
+tests (and CI) assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults import FaultConfig, FaultSchedule
+from repro.harness.experiment import make_kernel
+from repro.harness.report import render_table
+from repro.mm.costs import CostModel
+from repro.platform.node import FaaSNode, NodeReport
+from repro.platform.workload import Arrival
+from repro.workloads.profile import FunctionProfile
+
+#: The standard chaos mix: 1 % transient media errors, a few latency
+#: spikes, and the odd torn snapshot page.  Deliberately *no* persistent
+#: errors: a persistent fault marks the extent bad forever, and a bad
+#: extent inside the one shared snapshot file makes every later cold
+#: start of that function unservable — real deployments handle that by
+#: re-replicating the snapshot, which is outside this model.  Persistent
+#: faults stay available through :class:`~repro.faults.FaultConfig` and
+#: the forcing hooks for targeted tests.
+DEFAULT_CHAOS = FaultConfig(
+    media_error_rate=0.01,
+    latency_spike_rate=0.02,
+    latency_spike_multiplier=8.0,
+    torn_page_rate=0.002,
+)
+
+#: Degradation counters an approach instance may expose; surfaced in the
+#: result whenever nonzero.
+APPROACH_FAULT_COUNTERS = (
+    "capture_attach_failures",
+    "prefetch_fallbacks",
+    "prefetch_aborts",
+    "demand_retries",
+    "demand_fetch_failures",
+)
+
+
+@dataclass
+class ChaosResult:
+    """Everything one chaos run produced, fingerprintable."""
+
+    approach: str
+    function: str
+    fault_seed: int
+    report: NodeReport
+    #: FaultStats.snapshot(): what the schedule injected.
+    fault_stats: dict[str, int]
+    device_errors: int
+    cache_io_retries: int
+    cache_io_failures: int
+    #: Nonzero approach-level degradation counters (fallbacks, aborts).
+    approach_counters: dict[str, int]
+
+    def fingerprint(self) -> str:
+        """Exact digest of every number in the run.  Two runs with the
+        same seeds must produce byte-identical fingerprints."""
+        per_request = [(r.function, r.arrival_time, r.latency, r.cold,
+                        r.status, r.retries) for r in self.report.results]
+        return repr((
+            per_request,
+            self.report.peak_memory_bytes,
+            sorted(self.fault_stats.items()),
+            self.device_errors,
+            self.cache_io_retries,
+            self.cache_io_failures,
+            sorted(self.approach_counters.items()),
+        ))
+
+
+def fixed_interval_arrivals(profile: FunctionProfile, n_requests: int,
+                            interval: float,
+                            input_seed: int = 0) -> list[Arrival]:
+    """Deterministic request train: one arrival every ``interval``."""
+    return [Arrival(time=i * interval, function=profile.name,
+                    input_seed=input_seed)
+            for i in range(n_requests)]
+
+
+def run_chaos_scenario(profile: FunctionProfile,
+                       approach,
+                       config: FaultConfig = DEFAULT_CHAOS,
+                       fault_seed: int = 0,
+                       n_requests: int = 8,
+                       interval: float = 0.25,
+                       warm_pool_ttl: float | None = None,
+                       request_deadline: float | None = None,
+                       device_kind: str = "ssd",
+                       costs: CostModel | None = None) -> ChaosResult:
+    """Serve ``n_requests`` under an installed fault schedule.
+
+    The schedule is installed *after* the record phase so preparation is
+    clean and every injected fault lands on the serving path under test.
+    """
+    kernel = make_kernel(device_kind, costs=costs)
+    node = FaaSNode(kernel, approach, [profile],
+                    warm_pool_ttl=warm_pool_ttl,
+                    request_deadline=request_deadline)
+    env = kernel.env
+    env.run(env.process(node.prepare(), name="chaos-prepare"))
+    schedule = FaultSchedule(seed=fault_seed, config=config).install(kernel)
+
+    report = node.run(fixed_interval_arrivals(profile, n_requests, interval))
+
+    approach_obj = node.approaches[profile.name]
+    counters = {name: getattr(approach_obj, name)
+                for name in APPROACH_FAULT_COUNTERS
+                if getattr(approach_obj, name, 0)}
+    return ChaosResult(
+        approach=approach_obj.name,
+        function=profile.name,
+        fault_seed=fault_seed,
+        report=report,
+        fault_stats=schedule.stats.snapshot(),
+        device_errors=kernel.device.stats.errors,
+        cache_io_retries=kernel.page_cache.stats.io_retries,
+        cache_io_failures=kernel.page_cache.stats.io_failures,
+        approach_counters=counters,
+    )
+
+
+def chaos_rows(results: list[ChaosResult]) -> list[list[str]]:
+    """Table rows (header first) summarizing chaos runs per approach."""
+    header = ["approach", "requests", "ok", "retried", "timeout", "failed",
+              "mean cold (ms)", "injected", "spikes", "cache retries",
+              "degradations"]
+    rows = [header]
+    for res in results:
+        report = res.report
+        cold = report.latencies(cold=True)
+        mean_cold = (sum(cold) / len(cold) * 1e3) if cold else 0.0
+        injected = (res.fault_stats["media_errors"]
+                    + res.fault_stats["persistent_errors"]
+                    + res.fault_stats["torn_pages"]
+                    + res.fault_stats["attach_failures"])
+        degradations = ", ".join(
+            f"{k}={v}" for k, v in sorted(res.approach_counters.items()))
+        rows.append([
+            res.approach,
+            str(len(report.results)),
+            str(report.completed),
+            str(report.request_retries),
+            str(report.timeouts),
+            str(report.failures),
+            f"{mean_cold:.1f}",
+            str(injected),
+            str(res.fault_stats["latency_spikes"]),
+            str(res.cache_io_retries),
+            degradations or "-",
+        ])
+    return rows
+
+
+def render_chaos(results: list[ChaosResult], title: str = "") -> str:
+    seeds = sorted({res.fault_seed for res in results})
+    title = title or (f"Chaos scenario (fault seed"
+                      f"{'s' if len(seeds) > 1 else ''} "
+                      f"{', '.join(map(str, seeds))})")
+    return render_table(chaos_rows(results), title=title)

@@ -128,6 +128,14 @@ def _collect_extras(approach: Approach, result: ScenarioResult) -> None:
     if map_loads:
         result.extra["map_load_seconds"] = (
             sum(map_loads.values()) / len(map_loads))
+    # Fault-plane degradation counters: surfaced only when something
+    # actually degraded, so fault-free runs keep their exact extras.
+    for attr in ("capture_attach_failures", "prefetch_fallbacks",
+                 "prefetch_aborts", "demand_retries",
+                 "demand_fetch_failures"):
+        value = getattr(approach, attr, 0)
+        if value:
+            result.extra[attr] = float(value)
 
 
 class ResultCache:

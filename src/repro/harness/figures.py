@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 
 from repro.baselines.base import approach_registry
 from repro.harness.experiment import ResultCache
-from repro.metrics.results import ScenarioResult
 from repro.units import GIB
 from repro.workloads.profile import FUNCTIONS, FunctionProfile
 

@@ -9,7 +9,7 @@ events yielded from within :meth:`repro.kvm.kvm.KVM.access`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.guest.kernel import GuestKernel
 from repro.kvm.kvm import KVM
@@ -47,7 +47,6 @@ class VCpu:
     def run_trace(self, trace):
         """Generator (DES process body): execute the trace to completion."""
         acc = 0.0
-        ept = self.kvm.ept
         stats = self.stats
         for op in trace:
             if isinstance(op, TouchRun):

@@ -28,7 +28,7 @@ import bisect
 import itertools
 from dataclasses import dataclass, field
 
-from repro.mm.frames import ANON, Frame, FrameAllocator
+from repro.mm.frames import ANON, Frame
 from repro.mm.readahead import ReadaheadState
 from repro.storage.device import PRIO_READAHEAD
 from repro.mm.userfaultfd import Uffd

@@ -11,7 +11,7 @@ experiments report.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.units import PAGE_SIZE
 

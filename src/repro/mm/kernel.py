@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.ebpf.interp import Interpreter
 from repro.ebpf.kfunc import KfuncRegistry
 from repro.ebpf.kprobe import KprobeManager
+from repro.faults.retry import RetryPolicy
 from repro.mm.address_space import AddressSpace
 from repro.mm.costs import CostModel
 from repro.mm.frames import FrameAllocator
@@ -30,7 +31,8 @@ class Kernel:
     def __init__(self, env: Environment | None = None,
                  device: BlockDevice | None = None,
                  ram_bytes: int = 256 * GIB,
-                 costs: CostModel | None = None):
+                 costs: CostModel | None = None,
+                 retry_policy: RetryPolicy | None = RetryPolicy()):
         self.env = env or Environment()
         self.costs = costs or CostModel()
         self.device = device or SSDevice(self.env)
@@ -44,7 +46,10 @@ class Kernel:
                                      interpreter=self.interpreter)
         self.page_cache = PageCache(self.env, self.frames, self.filestore,
                                     self.kprobes,
-                                    insert_cost=self.costs.cache_insert)
+                                    insert_cost=self.costs.cache_insert,
+                                    retry_policy=retry_policy)
+        #: The installed FaultSchedule, if any (see FaultSchedule.install).
+        self.faults = None
 
     # -- factories ---------------------------------------------------------------
     def spawn_space(self, owner: str | None = None) -> AddressSpace:

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import struct
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ebpf.kprobe import KprobeManager
+from repro.faults.retry import RetryPolicy
 from repro.mm.frames import FILE, FrameAllocator, OutOfMemory
 from repro.sim import Environment, Event
 from repro.storage.device import PRIO_READAHEAD
@@ -57,6 +58,11 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     bpf_hook_seconds: float = 0.0
+    #: Transient I/O errors healed by re-issuing the read (fault plane).
+    io_retries: int = 0
+    #: Reads that exhausted the retry budget (or were not retryable):
+    #: pages dropped, waiters saw EIO.
+    io_failures: int = 0
 
 
 class PageCache:
@@ -64,12 +70,16 @@ class PageCache:
 
     def __init__(self, env: Environment, frames: FrameAllocator,
                  filestore: FileStore, kprobes: KprobeManager,
-                 insert_cost: float = 0.15e-6):
+                 insert_cost: float = 0.15e-6,
+                 retry_policy: RetryPolicy | None = None):
         self.env = env
         self.frames = frames
         self.filestore = filestore
         self.kprobes = kprobes
         self.insert_cost = insert_cost
+        #: Bounded backoff-retry for transient read errors; ``None``
+        #: fails waiters on the first error (the pre-fault-plane rule).
+        self.retry_policy = retry_policy
         self.stats = CacheStats()
         self._entries: OrderedDict[tuple[int, int], CacheEntry] = OrderedDict()
         if HOOK_ADD_TO_PAGE_CACHE not in getattr(kprobes, "_hooks", {}):
@@ -155,7 +165,7 @@ class PageCache:
         return cost, new_entries
 
     def _issue(self, file: File, run_start: int, entries: list[CacheEntry],
-               prio: int = 0) -> None:
+               prio: int = 0, attempt: int = 1) -> None:
         completion = self.filestore.read_pages(file, run_start, len(entries),
                                                prio=prio)
         # A failed read is handled here (pages dropped, waiters told), so
@@ -163,12 +173,22 @@ class PageCache:
         completion._defused = True
         completion.callbacks.append(
             lambda ev, file=file, entries=tuple(entries): self._io_done(
-                file, entries, ev))
+                file, run_start, entries, ev, prio, attempt))
 
-    def _io_done(self, file: File, entries: tuple[CacheEntry, ...],
-                 completion: Event) -> None:
+    def _io_done(self, file: File, run_start: int,
+                 entries: tuple[CacheEntry, ...], completion: Event,
+                 prio: int, attempt: int) -> None:
         if not completion.ok:
-            self._io_failed(entries, completion.value)
+            error = completion.value
+            policy = self.retry_policy
+            if policy is not None and policy.should_retry(
+                    attempt, getattr(error, "transient", False)):
+                self.stats.io_retries += 1
+                self.env.process(
+                    self._retry(file, run_start, entries, prio, attempt),
+                    name=f"pgcache-retry-{file.ino}-{run_start}-{attempt}")
+                return
+            self._io_failed(entries, error)
             return
         for entry in entries:
             entry.frame.content = file.content(entry.index)
@@ -178,10 +198,19 @@ class PageCache:
             if event is not None:
                 event.succeed(entry)
 
+    def _retry(self, file: File, run_start: int,
+               entries: tuple[CacheEntry, ...], prio: int, attempt: int):
+        """Back off, then re-issue the failed read for the same (still
+        locked) entries — concurrent waiters keep waiting on the same
+        ``io_event`` and never observe the transient error."""
+        yield self.env.timeout(self.retry_policy.backoff(attempt))
+        self._issue(file, run_start, list(entries), prio, attempt + 1)
+
     def _io_failed(self, entries: tuple[CacheEntry, ...],
                    error: BaseException) -> None:
         """Media error: drop the never-uptodate pages so later faults
         retry, and surface EIO (SIGBUS-style) to current waiters."""
+        self.stats.io_failures += 1
         for entry in entries:
             self._entries.pop((entry.ino, entry.index), None)
             self.frames.free(entry.frame)

@@ -13,7 +13,7 @@ so concurrent sandboxes of the same function can never share them
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim import Environment, Event, Store
 
@@ -70,6 +70,15 @@ class Uffd:
         wake = self._pending.pop(vpn, None)
         if wake is not None:
             wake.succeed()
+
+    def fail(self, vpn: int, error: BaseException) -> None:
+        """Fail everyone waiting on ``vpn``: the handler could not fetch
+        the page, so the faulting thread sees EIO (SIGBUS-style), just
+        like a failed page-cache read on the mmap paths."""
+        wake = self._pending.pop(vpn, None)
+        if wake is not None:
+            wake._defused = True
+            wake.fail(error)
 
     def is_pending(self, vpn: int) -> bool:
         return vpn in self._pending

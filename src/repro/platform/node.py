@@ -15,7 +15,7 @@ pay the cold-start path under test.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.baselines.base import Approach, approach_registry
@@ -39,6 +39,11 @@ class RequestResult:
     latency: float
     cold: bool
     input_seed: int
+    #: "ok", "timeout" (request deadline expired), or "failed" (EIO
+    #: survived the cold-start retry).
+    status: str = "ok"
+    #: Cold-start retries this request needed (0 or 1).
+    retries: int = 0
 
 
 @dataclass
@@ -71,6 +76,32 @@ class NodeReport:
     def mean_latency(self, cold: bool | None = None) -> float:
         return statistics.fmean(self.latencies(cold))
 
+    # -- fault plane --------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.results if r.status == "ok")
+
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for r in self.results if r.status == "timeout")
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for r in self.results if r.status == "failed")
+
+    @property
+    def request_retries(self) -> int:
+        return sum(r.retries for r in self.results)
+
+    def fault_summary(self) -> dict[str, int]:
+        """Degradation counters for the harness report."""
+        return {
+            "completed": self.completed,
+            "request_retries": self.request_retries,
+            "timeouts": self.timeouts,
+            "failures": self.failures,
+        }
+
 
 class FaaSNode:
     """One host serving a mix of functions with one restore approach."""
@@ -78,7 +109,8 @@ class FaaSNode:
     def __init__(self, kernel: Kernel,
                  approach_factory: Callable[[Kernel], Approach] | str,
                  profiles: list[FunctionProfile],
-                 warm_pool_ttl: float | None = None):
+                 warm_pool_ttl: float | None = None,
+                 request_deadline: float | None = None):
         if isinstance(approach_factory, str):
             approach_factory = approach_registry()[approach_factory]
         self.kernel = kernel
@@ -86,6 +118,10 @@ class FaaSNode:
         self.approaches: dict[str, Approach] = {
             p.name: approach_factory(kernel) for p in profiles}
         self.warm_pool_ttl = warm_pool_ttl
+        #: Wall-clock budget per request.  Past it the request reports a
+        #: "timeout" result; the in-flight attempt is abandoned (it still
+        #: finishes in the background and cleans up its sandbox).
+        self.request_deadline = request_deadline
         self._pool: dict[str, list[MicroVM]] = {p.name: [] for p in profiles}
         self._vm_seq = 0
         self.prepared = False
@@ -103,7 +139,14 @@ class FaaSNode:
 
     # -- request path -----------------------------------------------------------------
     def handle(self, arrival: Arrival):
-        """Generator: serve one request; returns a RequestResult."""
+        """Generator: serve one request; returns a RequestResult.
+
+        Degradation ladder: an attempt that dies with EIO (a media error
+        that survived every lower-layer retry) gets exactly one fresh
+        cold-start retry; the optional ``request_deadline`` bounds the
+        whole request, abandoning the in-flight attempt past it.  Either
+        way a result is always returned — faults never crash the node.
+        """
         if not self.prepared:
             raise RuntimeError("node.prepare() has not run")
         env = self.kernel.env
@@ -112,30 +155,77 @@ class FaaSNode:
         trace = generate_trace(profile, arrival.input_seed)
         start = env.now
 
-        pool = self._pool[arrival.function]
-        if pool:
-            vm = pool.pop()
-            vm._parked = False
-            yield env.timeout(WARM_RESUME_SECONDS)
-            vm._spawn_time = start
-            yield from vm.invoke(trace)
-            cold = False
-        else:
+        retries = 0
+        status = "ok"
+        cold = False
+        while True:
+            info = {"cold": False}
             self._vm_seq += 1
-            vm = yield from approach.spawn(
-                profile, vm_id=f"{arrival.function}-{self._vm_seq}")
-            yield from vm.invoke(trace)
-            approach.post_invoke(vm)
-            cold = True
+            vm_id = f"{arrival.function}-{self._vm_seq}"
+            attempt = env.process(
+                self._attempt(arrival, profile, approach, trace, info,
+                              vm_id, force_cold=retries > 0),
+                name=f"attempt-{vm_id}")
+            try:
+                if self.request_deadline is not None:
+                    remaining = max(0.0,
+                                    start + self.request_deadline - env.now)
+                    yield env.any_of([attempt, env.timeout(remaining)])
+                    if not attempt.triggered:
+                        # Deadline expired mid-attempt: report the
+                        # timeout now; the attempt finishes (or fails,
+                        # already defused) in the background.
+                        status = "timeout"
+                        cold = info["cold"]
+                        break
+                else:
+                    yield attempt
+                cold = info["cold"]
+                break
+            except IOError:
+                cold = info["cold"]
+                if retries >= 1:
+                    status = "failed"
+                    break
+                retries += 1
 
         latency = env.now - start
+        return RequestResult(function=arrival.function,
+                             arrival_time=arrival.time, latency=latency,
+                             cold=cold, input_seed=arrival.input_seed,
+                             status=status, retries=retries)
+
+    def _attempt(self, arrival: Arrival, profile: FunctionProfile,
+                 approach: Approach, trace, info: dict, vm_id: str,
+                 force_cold: bool = False):
+        """Generator: one serving attempt, sandbox cleanup included (so
+        an attempt abandoned at the deadline still parks or tears down
+        its sandbox when it eventually finishes)."""
+        env = self.kernel.env
+        pool = self._pool[arrival.function]
+        vm = None
+        try:
+            if pool and not force_cold:
+                info["cold"] = False
+                start = env.now
+                vm = pool.pop()
+                vm._parked = False
+                yield env.timeout(WARM_RESUME_SECONDS)
+                vm._spawn_time = start
+                yield from vm.invoke(trace)
+            else:
+                info["cold"] = True
+                vm = yield from approach.spawn(profile, vm_id=vm_id)
+                yield from vm.invoke(trace)
+                approach.post_invoke(vm)
+        except IOError:
+            if vm is not None and not vm.space.dead:
+                vm.teardown()
+            raise
         if self.warm_pool_ttl is not None:
             self._park(vm, arrival.function)
         else:
             vm.teardown()
-        return RequestResult(function=arrival.function,
-                             arrival_time=arrival.time, latency=latency,
-                             cold=cold, input_seed=arrival.input_seed)
 
     def _park(self, vm: MicroVM, function: str) -> None:
         env = self.kernel.env

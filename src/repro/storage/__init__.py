@@ -8,17 +8,26 @@ interface, plus a minimal extent-based :class:`FileStore` that places
 files on a device and tracks per-page content identities.
 """
 
-from repro.storage.device import BlockDevice, DeviceStats, IORequest
-from repro.storage.filestore import File, FileStore
+from repro.storage.device import (
+    BlockDevice,
+    BlockIOError,
+    DeviceStats,
+    IOError_,
+    IORequest,
+)
+from repro.storage.filestore import File, FileStore, TornPageError
 from repro.storage.hdd import HDDevice
 from repro.storage.ssd import SSDevice
 
 __all__ = [
     "BlockDevice",
+    "BlockIOError",
     "DeviceStats",
     "File",
     "FileStore",
     "HDDevice",
+    "IOError_",
     "IORequest",
     "SSDevice",
+    "TornPageError",
 ]

@@ -50,13 +50,24 @@ class IORequest:
         return self.offset + self.nbytes
 
 
-class IOError_(IOError):
-    """A block request failed (media error injected by fault testing)."""
+class BlockIOError(IOError):
+    """A block request failed with a media error.
 
-    def __init__(self, request: "IORequest"):
-        super().__init__(f"I/O error on {request.op} "
+    ``transient`` distinguishes errors that may clear on retry from
+    persistent ones (a bad extent keeps failing), which is what the
+    page-cache retry policy keys on.
+    """
+
+    def __init__(self, request: "IORequest", transient: bool = True):
+        kind = "transient" if transient else "persistent"
+        super().__init__(f"{kind} I/O error on {request.op} "
                          f"[{request.offset}, {request.end})")
         self.request = request
+        self.transient = transient
+
+
+#: Deprecated alias, kept for callers written against the old name.
+IOError_ = BlockIOError
 
 
 @dataclass
@@ -70,6 +81,8 @@ class DeviceStats:
     bytes_written: int = 0
     sequential_requests: int = 0
     errors: int = 0
+    transient_errors: int = 0
+    persistent_errors: int = 0
     #: Sum of per-request wall times, queueing included (a load proxy,
     #: not device utilization — requests overlap).
     busy_time: float = 0.0
@@ -86,6 +99,7 @@ class DeviceStats:
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
             "sequential_requests": self.sequential_requests,
+            "errors": self.errors,
             "busy_time": self.busy_time,
         }
 
@@ -115,9 +129,11 @@ class BlockDevice:
         self._controller = Resource(env, capacity=1)
         self._last_end: int | None = None
         self._seq = itertools.count()
-        #: Fault injection: the next N requests fail with IOError_ after
-        #: their service time elapses (media error semantics).
-        self.fail_next_requests = 0
+        #: Fault plane hook (duck-typed; see repro.faults).  When set,
+        #: each request is submitted to ``fault_injector.on_request``,
+        #: whose decision can fail the request with a media error after
+        #: its service time elapses and/or stretch its service time.
+        self.fault_injector = None
 
     # -- subclass interface -------------------------------------------------
     def controller_time(self, request: IORequest) -> float:
@@ -147,10 +163,9 @@ class BlockDevice:
 
     def _serve(self, request: IORequest):
         start = self.env.now
-        fail = False
-        if self.fail_next_requests > 0:
-            self.fail_next_requests -= 1
-            fail = True
+        decision = (self.fault_injector.on_request(request)
+                    if self.fault_injector is not None else None)
+        multiplier = decision.multiplier if decision is not None else 1.0
         slot = self._slots.request(priority=request.prio)
         yield slot
         try:
@@ -159,17 +174,21 @@ class BlockDevice:
             try:
                 sequential = self._last_end == request.offset
                 self._last_end = request.end
-                yield self.env.timeout(self.controller_time(request))
+                yield self.env.timeout(
+                    self.controller_time(request) * multiplier)
             finally:
                 self._controller.release(ctrl)
-            yield self.env.timeout(self.media_time(request, sequential))
+            yield self.env.timeout(
+                self.media_time(request, sequential) * multiplier)
         finally:
             self._slots.release(slot)
         request.complete_time = self.env.now
-        if fail:
-            self.stats.errors += 1
-            raise IOError_(request)
-        self._account(request, sequential, request.complete_time - start)
+        duration = request.complete_time - start
+        if decision is not None and decision.error is not None:
+            transient = decision.error != "persistent"
+            self._account_failure(request, duration, transient)
+            raise BlockIOError(request, transient=transient)
+        self._account(request, sequential, duration)
         return request
 
     def _account(self, request: IORequest, sequential: bool,
@@ -186,6 +205,20 @@ class BlockDevice:
         else:
             st.write_requests += 1
             st.bytes_written += request.nbytes
+
+    def _account_failure(self, request: IORequest, duration: float,
+                         transient: bool) -> None:
+        """Failed requests still occupied the device for their service
+        time: charge busy time and latency, but none of the success
+        counters (requests/bytes/sequential)."""
+        st = self.stats
+        st.errors += 1
+        if transient:
+            st.transient_errors += 1
+        else:
+            st.persistent_errors += 1
+        st.busy_time += duration
+        st.per_request_latency.append(duration)
 
     # -- misc -----------------------------------------------------------------
     def reset_stats(self) -> None:

@@ -26,6 +26,23 @@ from repro.units import PAGE_SIZE
 ZERO_PAGE = 0
 
 
+class TornPageError(IOError):
+    """A read returned a torn/corrupt snapshot page.
+
+    The block-layer request itself succeeded; integrity checking above
+    it (checksums over snapshot pages) rejected the payload.  Treated as
+    transient by the retry ladder: a torn *read* (e.g. racing a snapshot
+    rewrite) heals on re-read, and the fault plane draws fresh per read.
+    """
+
+    transient = True
+
+    def __init__(self, file_name: str, page: int):
+        super().__init__(f"torn page {page} in {file_name!r}")
+        self.file_name = file_name
+        self.page = page
+
+
 def default_token(ino: int, index: int) -> int:
     """Deterministic nonzero content token for an untouched file page."""
     return (ino << 40) | (index + 1)
@@ -81,6 +98,10 @@ class FileStore:
         self._by_ino: dict[int, File] = {}
         self._next_ino = itertools.count(1)
         self._next_offset = 0
+        #: Fault plane hook (duck-typed; see repro.faults).  When set,
+        #: reads consult ``fault_injector.on_read`` and may surface a
+        #: :class:`TornPageError` even though the device read succeeded.
+        self.fault_injector = None
 
     # -- namespace ------------------------------------------------------------
     def create(self, name: str, size_bytes: int) -> File:
@@ -137,5 +158,18 @@ class FileStore:
                 f"pages [{start_page}, {start_page + npages}) out of range "
                 f"for {file.name!r} ({file.size_pages} pages)")
         offset = file.device_offset + start_page * PAGE_SIZE
-        return self.device.submit(
+        completion = self.device.submit(
             IORequest(offset, npages * PAGE_SIZE, op, prio=prio))
+        if self.fault_injector is not None and op == READ:
+            error = self.fault_injector.on_read(file, start_page, npages)
+            if error is not None:
+                return self.env.process(
+                    self._torn_read(completion, error),
+                    name=f"torn-read-{file.name}-{start_page}")
+        return completion
+
+    def _torn_read(self, completion: Event, error: TornPageError):
+        # A device-level failure propagates as-is (yield re-raises it);
+        # only a successful read is demoted to the torn-page error.
+        yield completion
+        raise error

@@ -11,12 +11,12 @@ matching the paper's instrumented firecracker.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass
 
 from repro.guest.kernel import GuestKernel
 from repro.kvm.kvm import KVM
 from repro.kvm.vcpu import VCpu
-from repro.mm.address_space import AddressSpace
 from repro.mm.kernel import Kernel
 from repro.vmm.snapshot import FunctionSnapshot
 
@@ -82,7 +82,10 @@ class MicroVM:
             pv_enabled=pv_marking,
             patched_cow=patched_cow,
             force_write_percent=force_write_percent,
-            vm_seed=hash(self.vm_id) & 0xFFFF,
+            # crc32, not hash(): str hashing is salted per process
+            # (PYTHONHASHSEED), and identical runs must stay identical
+            # across processes for the fault-plane determinism contract.
+            vm_seed=zlib.crc32(self.vm_id.encode()) & 0xFFFF,
         )
         self.vcpu = VCpu(kernel.env, self.kvm, self.guest)
         #: Seconds the restoring approach spent before the vCPU started.

@@ -22,7 +22,6 @@ import bisect
 import random
 from dataclasses import dataclass
 
-from repro.units import PAGE_SIZE
 
 
 @dataclass(frozen=True)

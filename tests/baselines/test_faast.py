@@ -1,6 +1,5 @@
 """Faast: REAP + allocator-metadata allocation filtering."""
 
-import pytest
 
 from repro.baselines.faast import Faast
 from repro.baselines.reap import REAP

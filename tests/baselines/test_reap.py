@@ -74,7 +74,7 @@ def test_content_fidelity_end_to_end(tiny_profile):
 
     def run():
         vm = yield from approach.spawn(tiny_profile, "vm0")
-        stats = yield from vm.invoke(trace)
+        yield from vm.invoke(trace)
         return vm
 
     p = kernel.env.process(run())

@@ -1,6 +1,5 @@
 """The snapbpf_prefetch kfunc bridge."""
 
-import pytest
 
 from repro.core.kfuncs import SNAPBPF_PREFETCH, register_snapbpf_kfunc
 from repro.units import MIB

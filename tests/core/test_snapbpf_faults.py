@@ -1,0 +1,97 @@
+"""SnapBPF degradation ladder: every BPF-plane failure falls back to
+plain demand paging instead of failing the sandbox."""
+
+import pytest
+
+from repro.core.approach import SnapBPF
+from repro.faults import FaultConfig, FaultSchedule
+from repro.harness.experiment import make_kernel
+from repro.mm.page_cache import HOOK_ADD_TO_PAGE_CACHE
+from repro.units import DEFAULT_READAHEAD_PAGES
+from repro.vmm.microvm import GUEST_BASE_VPN
+from repro.workloads.trace import generate_trace
+
+
+@pytest.fixture
+def prepared(tiny_profile):
+    kernel = make_kernel()
+    approach = SnapBPF(kernel)
+    trace = generate_trace(tiny_profile, 0)
+    kernel.env.run(kernel.env.process(
+        approach.prepare(tiny_profile, trace), name="prepare"))
+    return kernel, approach, trace
+
+
+def run_one(kernel, approach, profile, trace, vm_id="vm0"):
+    def body():
+        vm = yield from approach.spawn(profile, vm_id)
+        stats = yield from vm.invoke(trace)
+        return vm, stats
+    process = kernel.env.process(body(), name="invoke")
+    kernel.env.run(process)
+    return process.value
+
+
+def test_prefetch_attach_failure_falls_back(prepared, tiny_profile):
+    kernel, approach, trace = prepared
+    FaultSchedule(seed=0).install(kernel)
+    kernel.kprobes.fault_injector.fail_next_attach()
+
+    vm, stats = run_one(kernel, approach, tiny_profile, trace)
+
+    assert approach.prefetch_fallbacks == 1
+    assert kernel.faults.stats.attach_failures == 1
+    # The prefetch program never made it onto the hook.
+    assert kernel.kprobes.attached(HOOK_ADD_TO_PAGE_CACHE) == []
+    # Fallback re-enabled default kernel readahead on the snapshot
+    # mapping (SnapBPF normally runs it at ra_pages=0).
+    vma = vm.space.vma_at(GUEST_BASE_VPN)
+    assert vma.ra.ra_pages == DEFAULT_READAHEAD_PAGES
+    # The invocation itself completed normally.
+    assert stats is not None
+    approach.post_invoke(vm)
+
+
+def test_map_capacity_squeeze_falls_back(prepared, tiny_profile):
+    kernel, approach, trace = prepared
+    assert len(approach.groups) > 1  # the squeeze below must bite
+    FaultSchedule(
+        seed=0, config=FaultConfig(map_capacity_cap=1)).install(kernel)
+
+    _vm, stats = run_one(kernel, approach, tiny_profile, trace)
+
+    assert approach.prefetch_fallbacks == 1
+    assert kernel.faults.stats.map_squeezes >= 1
+    assert stats is not None
+
+
+def test_fallback_spawn_is_not_sticky(prepared, tiny_profile):
+    """Only the faulted spawn degrades; the next one prefetches again."""
+    kernel, approach, trace = prepared
+    FaultSchedule(seed=0).install(kernel)
+    kernel.kprobes.fault_injector.fail_next_attach()
+    vm0, _ = run_one(kernel, approach, tiny_profile, trace, vm_id="vm0")
+    approach.post_invoke(vm0)
+    vm1, _ = run_one(kernel, approach, tiny_profile, trace, vm_id="vm1")
+    approach.post_invoke(vm1)
+    assert approach.prefetch_fallbacks == 1
+    assert "vm1" in approach.map_load_seconds  # prefetch path ran
+
+
+def test_capture_attach_failure_degrades_record(tiny_profile):
+    """A capture attach failure during prepare leaves the working set
+    empty but must not break recording or later spawns."""
+    kernel = make_kernel()
+    FaultSchedule(seed=0).install(kernel)
+    kernel.kprobes.fault_injector.fail_next_attach()
+    approach = SnapBPF(kernel)
+    trace = generate_trace(tiny_profile, 0)
+    kernel.env.run(kernel.env.process(
+        approach.prepare(tiny_profile, trace), name="prepare"))
+
+    assert approach.capture_attach_failures == 1
+    assert approach.groups == []
+    assert approach.captured_pages == 0
+
+    _vm, stats = run_one(kernel, approach, tiny_profile, trace)
+    assert stats is not None

@@ -6,7 +6,6 @@ from repro.ebpf.asm import (
     AssemblyError,
     Label,
     assemble,
-    alui,
     exit_,
     jcond,
     jmp,

@@ -16,7 +16,6 @@ from repro.ebpf.asm import (
     load,
     mov,
     movi,
-    store,
     storei,
 )
 from repro.ebpf.helpers import (
@@ -26,7 +25,7 @@ from repro.ebpf.helpers import (
     BPF_FUNC_MAP_UPDATE_ELEM,
     BPF_FUNC_TRACE_PRINTK,
 )
-from repro.ebpf.insn import R0, R1, R2, R3, R4, R6, R7, R10, U64_MASK
+from repro.ebpf.insn import R0, R1, R2, R3, R4, R6, R10, U64_MASK
 from repro.ebpf.interp import Interpreter, RuntimeFault, pack_u64
 from repro.ebpf.kfunc import KfuncRegistry
 from repro.ebpf.maps import HashMap

@@ -28,7 +28,7 @@ from repro.ebpf.helpers import (
     BPF_FUNC_MAP_LOOKUP_ELEM,
     BPF_FUNC_MAP_UPDATE_ELEM,
 )
-from repro.ebpf.insn import R0, R1, R2, R3, R4, R5, R6, R7, R8, R10
+from repro.ebpf.insn import R0, R1, R2, R3, R4, R6, R7, R8, R10
 from repro.ebpf.kfunc import KfuncRegistry
 from repro.ebpf.maps import ArrayMap, HashMap
 from repro.ebpf.verifier import VerificationError, Verifier

@@ -1,0 +1,115 @@
+"""Per-layer injectors: forcing hooks, rate draws, determinism."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.faults import FaultConfig, FaultSchedule
+from repro.faults.injectors import PERSISTENT, TRANSIENT
+from repro.storage.filestore import TornPageError
+
+
+@dataclass(frozen=True)
+class FakeRequest:
+    offset: int
+    end: int
+
+
+@dataclass(frozen=True)
+class FakeFile:
+    name: str = "snap"
+
+
+def decisions(schedule, n=64, size=4096):
+    return [schedule.device.on_request(
+        FakeRequest(offset=i * size, end=(i + 1) * size))
+        for i in range(n)]
+
+
+def test_forced_failures_are_fifo():
+    schedule = FaultSchedule(seed=0)
+    schedule.device.fail_next(2)
+    schedule.device.fail_next(persistent=True)
+    kinds = [d.error for d in decisions(schedule, n=5)]
+    assert kinds == [TRANSIENT, TRANSIENT, PERSISTENT, None, None]
+    assert schedule.stats.media_errors == 2
+    assert schedule.stats.persistent_errors == 1
+
+
+def test_persistent_error_registers_bad_extent():
+    schedule = FaultSchedule(seed=0)
+    schedule.device.fail_next(persistent=True)
+    schedule.device.on_request(FakeRequest(offset=0, end=8192))
+    assert schedule.device.bad_extents == [(0, 8192)]
+    # Overlapping request fails, disjoint one does not.
+    assert schedule.device.on_request(
+        FakeRequest(offset=4096, end=16384)).error == PERSISTENT
+    assert schedule.device.on_request(
+        FakeRequest(offset=8192, end=16384)).error is None
+
+
+def test_device_rate_draws_are_seed_deterministic():
+    config = FaultConfig(media_error_rate=0.2, persistent_fraction=0.3,
+                         latency_spike_rate=0.2)
+    first = decisions(FaultSchedule(seed=9, config=config))
+    again = decisions(FaultSchedule(seed=9, config=config))
+    other = decisions(FaultSchedule(seed=10, config=config))
+    assert first == again
+    assert first != other
+    assert any(d.error is not None for d in first)
+    assert any(d.spiked for d in first)
+
+
+def test_degraded_multiplier_applies_to_every_request():
+    config = FaultConfig(degraded_multiplier=2.5)
+    for decision in decisions(FaultSchedule(seed=0, config=config), n=8):
+        assert decision.multiplier == 2.5
+        assert decision.error is None
+
+
+def test_spike_multiplies_on_top_of_degraded():
+    config = FaultConfig(degraded_multiplier=2.0, latency_spike_rate=1.0,
+                         latency_spike_multiplier=8.0)
+    decision = decisions(FaultSchedule(seed=0, config=config), n=1)[0]
+    assert decision.spiked
+    assert decision.multiplier == pytest.approx(16.0)
+
+
+def test_torn_page_forcing_and_rates():
+    schedule = FaultSchedule(seed=0)
+    assert schedule.filestore.on_read(FakeFile(), 0, 4) is None
+    schedule.filestore.tear_next()
+    error = schedule.filestore.on_read(FakeFile(), 16, 4)
+    assert isinstance(error, TornPageError)
+    assert error.transient
+    assert 16 <= error.page < 20
+    assert schedule.stats.torn_pages == 1
+    always = FaultSchedule(seed=0, config=FaultConfig(torn_page_rate=1.0))
+    assert isinstance(always.filestore.on_read(FakeFile(), 0, 1),
+                      TornPageError)
+
+
+def test_attach_failures_forced_and_rated():
+    from repro.ebpf.kprobe import AttachError
+
+    schedule = FaultSchedule(seed=0)
+    schedule.ebpf.on_attach("hook", object())  # no-op at zero rate
+    schedule.ebpf.fail_next_attach()
+    with pytest.raises(AttachError):
+        schedule.ebpf.on_attach("hook", object())
+    assert schedule.stats.attach_failures == 1
+    always = FaultSchedule(
+        seed=0, config=FaultConfig(attach_failure_rate=1.0))
+    with pytest.raises(AttachError):
+        always.ebpf.on_attach("hook", object())
+
+
+def test_map_capacity_clamps_and_counts():
+    schedule = FaultSchedule(
+        seed=0, config=FaultConfig(map_capacity_cap=128))
+    assert schedule.ebpf.map_capacity(64) == 64
+    assert schedule.ebpf.map_capacity(1 << 20) == 128
+    assert schedule.stats.map_squeezes == 1
+    unlimited = FaultSchedule(seed=0)
+    assert unlimited.ebpf.map_capacity(1 << 20) == 1 << 20
+    assert unlimited.stats.map_squeezes == 0

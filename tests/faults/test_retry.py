@@ -1,0 +1,34 @@
+"""RetryPolicy: budget and backoff arithmetic."""
+
+import pytest
+
+from repro.faults import RetryPolicy
+
+
+def test_defaults_retry_transient_twice():
+    policy = RetryPolicy()
+    assert policy.should_retry(1, transient=True)
+    assert policy.should_retry(2, transient=True)
+    assert not policy.should_retry(3, transient=True)
+
+
+def test_persistent_errors_never_retry():
+    policy = RetryPolicy()
+    assert not policy.should_retry(1, transient=False)
+
+
+def test_backoff_is_exponential():
+    policy = RetryPolicy(backoff_base=1e-3, backoff_multiplier=4.0)
+    assert policy.backoff(1) == pytest.approx(1e-3)
+    assert policy.backoff(2) == pytest.approx(4e-3)
+    assert policy.backoff(3) == pytest.approx(16e-3)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_attempts": 0},
+    {"backoff_base": -1.0},
+    {"backoff_multiplier": 0.5},
+])
+def test_rejects_bad_parameters(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)

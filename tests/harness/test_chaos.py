@@ -1,0 +1,89 @@
+"""Chaos harness: seeded reproducibility and graceful completion."""
+
+import pytest
+
+from repro.faults import FaultConfig
+from repro.harness.chaos import (
+    DEFAULT_CHAOS,
+    chaos_rows,
+    fixed_interval_arrivals,
+    render_chaos,
+    run_chaos_scenario,
+)
+from repro.units import MIB
+from repro.workloads.profile import FunctionProfile
+
+
+@pytest.fixture
+def profile():
+    return FunctionProfile(name="alpha", mem_bytes=48 * MIB,
+                           ws_bytes=4 * MIB, alloc_bytes=2 * MIB,
+                           compute_seconds=0.02, run_len_mean=8.0, seed=31)
+
+
+#: Rates cranked high enough that a 3-request run reliably sees faults.
+HOT = FaultConfig(media_error_rate=0.05, latency_spike_rate=0.1,
+                  torn_page_rate=0.01)
+
+
+def test_fixed_interval_arrivals(profile):
+    arrivals = fixed_interval_arrivals(profile, 3, 0.5, input_seed=7)
+    assert [a.time for a in arrivals] == [0.0, 0.5, 1.0]
+    assert all(a.function == "alpha" and a.input_seed == 7
+               for a in arrivals)
+
+
+def test_same_fault_seed_is_byte_identical(profile):
+    """Satellite of the fault plane: a chaos run is a pure function of
+    its seeds."""
+    first = run_chaos_scenario(profile, "snapbpf", config=HOT,
+                               fault_seed=5, n_requests=3)
+    again = run_chaos_scenario(profile, "snapbpf", config=HOT,
+                               fault_seed=5, n_requests=3)
+    other = run_chaos_scenario(profile, "snapbpf", config=HOT,
+                               fault_seed=6, n_requests=3)
+    assert first.fingerprint() == again.fingerprint()
+    assert first.fingerprint() != other.fingerprint()
+
+
+def test_transient_chaos_completes_every_request(profile):
+    result = run_chaos_scenario(profile, "linux-ra", config=HOT,
+                                fault_seed=2, n_requests=3)
+    assert result.report.completed == 3
+    assert result.report.failures == 0
+    injected = sum(v for k, v in result.fault_stats.items()
+                   if k != "latency_spikes")
+    assert injected > 0  # the run actually exercised the fault plane
+    assert result.cache_io_retries > 0
+
+
+def test_attach_failure_chaos_degrades_snapbpf(profile):
+    """The headline acceptance scenario: with every prefetch attach
+    failing, SnapBPF serves everything through demand paging."""
+    config = FaultConfig(attach_failure_rate=1.0)
+    result = run_chaos_scenario(profile, "snapbpf", config=config,
+                                fault_seed=0, n_requests=2)
+    assert result.report.completed == 2
+    assert result.approach_counters["prefetch_fallbacks"] == 2
+    assert result.fault_stats["attach_failures"] == 2
+
+
+def test_record_phase_runs_clean(profile):
+    """Faults are installed after prepare: a zero-rate config must
+    leave the whole run untouched."""
+    result = run_chaos_scenario(profile, "snapbpf", config=FaultConfig(),
+                                fault_seed=0, n_requests=2)
+    assert result.report.completed == 2
+    assert all(v == 0 for v in result.fault_stats.values())
+    assert result.approach_counters == {}
+
+
+def test_render_chaos_table(profile):
+    result = run_chaos_scenario(profile, "linux-ra", config=DEFAULT_CHAOS,
+                                fault_seed=1, n_requests=2)
+    rows = chaos_rows([result])
+    assert rows[0][0] == "approach"
+    assert rows[1][0] == "linux-ra"
+    text = render_chaos([result])
+    assert "linux-ra" in text
+    assert "fault seed 1" in text

@@ -44,3 +44,35 @@ def test_fig_with_subset(capsys):
 def test_bad_approach_rejected():
     with pytest.raises(SystemExit):
         main(["run", "json", "warpdrive"])
+
+
+def test_chaos(capsys):
+    assert main(["chaos", "json", "linux-nora", "-n", "2",
+                 "--fault-seed", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Chaos scenario (fault seed 4)" in out
+    assert "linux-nora" in out
+
+
+def test_chaos_attach_failure_override(capsys):
+    assert main(["chaos", "json", "snapbpf", "-n", "2",
+                 "--media-error-rate", "0",
+                 "--attach-failure-rate", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "prefetch_fallbacks=2" in out
+
+
+def test_chaos_unknown_function(capsys):
+    assert main(["chaos", "nosuch"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_chaos_unknown_approach(capsys):
+    assert main(["chaos", "json", "warpdrive"]) == 2
+    assert "warpdrive" in capsys.readouterr().err
+
+
+def test_chaos_out_of_range_rate(capsys):
+    assert main(["chaos", "json", "linux-nora",
+                 "--media-error-rate", "2.0"]) == 2
+    assert "media_error_rate" in capsys.readouterr().err

@@ -54,7 +54,6 @@ def test_figure_3c_memory(cache, small):
 
 
 def test_figure_3b_and_3c_share_runs(cache, small):
-    before = len(cache)
     figure_3b(cache, functions=small)
     mid = len(cache)
     figure_3c(cache, functions=small)

@@ -1,7 +1,6 @@
 """Concurrency-specific behaviours: racing faults, shared I/O, program
 attach/detach discipline with many sandboxes."""
 
-import pytest
 
 from repro.core.approach import SnapBPF
 from repro.harness.experiment import make_kernel, run_scenario
@@ -17,8 +16,8 @@ def test_racing_faulters_wait_on_one_io(kernel):
     spaces = [kernel.spawn_space(f"p{i}") for i in range(8)]
     for space in spaces:
         space.mmap(64, file=file, at=1000, ra_pages=0)
-    procs = [kernel.env.process(space.handle_fault(1000, False))
-             for space in spaces]
+    for space in spaces:
+        kernel.env.process(space.handle_fault(1000, False))
     kernel.env.run()
     assert kernel.device.stats.requests == 1
     frame = spaces[0].pte(1000).frame

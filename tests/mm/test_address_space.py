@@ -52,7 +52,7 @@ class TestMmap:
 
 class TestAnonFault:
     def test_zero_fill(self, kernel, space):
-        vma = space.mmap(16, at=1000)
+        space.mmap(16, at=1000)
         cost = fault(kernel, space, 1000, write=True)
         pte = space.pte(1000)
         assert pte.writable and pte.frame.kind == "anon"
@@ -166,8 +166,8 @@ class TestUffdFault:
                 uffd.resolve(msg.vpn)
 
         kernel.env.process(handler())
-        p1 = kernel.env.process(space.handle_fault(1003, False))
-        p2 = kernel.env.process(space.handle_fault(1003, False))
+        kernel.env.process(space.handle_fault(1003, False))
+        kernel.env.process(space.handle_fault(1003, False))
         kernel.env.run()
         assert messages == [1003]
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ebpf.asm import assemble, exit_, load, movi, store, storei, ldmap, mov, alui, call
+from repro.ebpf.asm import assemble, exit_, load, movi, store, ldmap, mov, alui, call
 from repro.ebpf.insn import R0, R1, R2, R3, R4, R6, R7, R10
 from repro.ebpf.maps import HashMap
 from repro.mm.page_cache import HOOK_ADD_TO_PAGE_CACHE
@@ -108,8 +108,8 @@ class TestWaiting:
             cost = yield from cache.read_range(file, 0, 8)
             return cost
 
-        p1 = kernel.env.process(reader())
-        p2 = kernel.env.process(reader())
+        kernel.env.process(reader())
+        kernel.env.process(reader())
         kernel.env.run()
         assert kernel.device.stats.requests == 1
         assert kernel.frames.counters.file == 8  # one copy, shared
@@ -117,7 +117,7 @@ class TestWaiting:
 
 class TestRaUnbounded:
     def test_clips_to_file(self, kernel, file):
-        cost = kernel.page_cache.page_cache_ra_unbounded(
+        kernel.page_cache.page_cache_ra_unbounded(
             file, file.size_pages - 4, 100)
         kernel.env.run()
         assert kernel.page_cache.resident(file.ino, file.size_pages - 1)

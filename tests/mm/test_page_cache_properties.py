@@ -4,9 +4,9 @@ arbitrary populate / wait / drop / fault-injection sequences."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.faults import FaultSchedule
 from repro.mm.kernel import Kernel
 from repro.sim import Environment
-from repro.units import MIB
 
 FILE_PAGES = 256
 
@@ -25,6 +25,7 @@ op_strategy = st.one_of(
 @given(ops=st.lists(op_strategy, min_size=1, max_size=25))
 def test_cache_frame_accounting_invariant(ops):
     kernel = Kernel(env=Environment())
+    FaultSchedule(seed=0).install(kernel)
     file = kernel.filestore.create("f", FILE_PAGES * 4096)
     for op, a, b in ops:
         if op == "populate":
@@ -39,7 +40,7 @@ def test_cache_frame_accounting_invariant(ops):
             kernel.env.run()
             kernel.drop_caches()
         elif op == "fail_next":
-            kernel.device.fail_next_requests += b
+            kernel.device.fault_injector.fail_next(b)
 
         # Invariant: one FILE frame per cache entry, at all times.
         assert (kernel.frames.counters.file

@@ -1,0 +1,92 @@
+"""Node-level degradation: cold-start retry on EIO, request deadlines."""
+
+import pytest
+
+from repro.faults import FaultSchedule
+from repro.harness.experiment import make_kernel
+from repro.platform.node import FaaSNode
+from repro.platform.workload import Arrival
+from repro.units import MIB
+from repro.workloads.profile import FunctionProfile
+
+
+@pytest.fixture
+def profile():
+    return FunctionProfile(name="alpha", mem_bytes=48 * MIB,
+                           ws_bytes=4 * MIB, alloc_bytes=2 * MIB,
+                           compute_seconds=0.02, run_len_mean=8.0, seed=31)
+
+
+def make_node(profile, deadline=None):
+    """Node prepared clean, then fault schedule installed for serving."""
+    kernel = make_kernel()
+    node = FaaSNode(kernel, "linux-ra", [profile],
+                    request_deadline=deadline)
+    kernel.env.run(kernel.env.process(node.prepare(), name="prepare"))
+    FaultSchedule(seed=0).install(kernel)
+    return node
+
+
+def test_transient_eio_gets_one_cold_retry(profile):
+    node = make_node(profile)
+    node.kernel.page_cache.retry_policy = None  # EIO escalates directly
+    node.kernel.device.fault_injector.fail_next()
+
+    report = node.run([Arrival(0.0, "alpha", 0)])
+
+    result = report.results[0]
+    assert result.status == "ok"
+    assert result.retries == 1
+    assert result.cold
+    assert report.completed == 1
+    assert report.request_retries == 1
+
+
+def test_persistent_eio_exhausts_retry_and_fails(profile):
+    node = make_node(profile)
+    node.kernel.device.fault_injector.fail_next(persistent=True)
+
+    report = node.run([Arrival(0.0, "alpha", 0)])
+
+    result = report.results[0]
+    # The retry's fresh cold start re-reads the poisoned extent.
+    assert result.status == "failed"
+    assert result.retries == 1
+    assert report.failures == 1
+    assert report.completed == 0
+
+
+def test_deadline_expiry_reports_timeout(profile):
+    node = make_node(profile, deadline=1e-3)
+
+    report = node.run([Arrival(0.0, "alpha", 0)])
+
+    result = report.results[0]
+    assert result.status == "timeout"
+    assert result.latency == pytest.approx(1e-3)
+    assert report.timeouts == 1
+    # The abandoned attempt still cleaned up its sandbox: node.run's
+    # final drain let it finish, so no anonymous memory leaks.
+    assert node.kernel.frames.counters.anon == 0
+    assert node.pooled_sandboxes("alpha") == 0
+
+
+def test_generous_deadline_does_not_fire(profile):
+    node = make_node(profile, deadline=60.0)
+    report = node.run([Arrival(0.0, "alpha", 0),
+                       Arrival(0.1, "alpha", 0)])
+    assert report.timeouts == 0
+    assert report.completed == 2
+    assert all(r.status == "ok" for r in report.results)
+
+
+def test_faults_never_crash_the_node(profile):
+    """Mixed forced faults: every request still gets a result."""
+    node = make_node(profile)
+    node.kernel.device.fault_injector.fail_next(2)
+    node.kernel.filestore.fault_injector.tear_next()
+
+    report = node.run([Arrival(i * 0.2, "alpha", 0) for i in range(3)])
+
+    assert len(report.results) == 3
+    assert report.completed == 3  # retry ladder healed everything

@@ -3,13 +3,8 @@
 import pytest
 
 from repro.sim import (
-    AllOf,
-    AnyOf,
-    Environment,
-    Event,
     Interrupt,
     SimulationError,
-    Timeout,
 )
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim import Environment, SimulationError
 
 
 def test_urgent_beats_normal_at_same_time(env):

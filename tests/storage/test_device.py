@@ -7,7 +7,6 @@ from repro.storage.device import (
     PRIO_READAHEAD,
     PRIO_SYNC,
     READ,
-    WRITE,
     IORequest,
 )
 from repro.storage.hdd import HDDevice
@@ -68,7 +67,7 @@ class TestSSD:
 
     def test_write_slower_than_read(self, env):
         ssd = SSDevice(env)
-        read = ssd.read(0, PAGE_SIZE)
+        ssd.read(0, PAGE_SIZE)
         env.run()
         read_time = env.now
         env2 = Environment()

@@ -1,13 +1,12 @@
 """Device-model property tests: conservation and monotonicity."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim import Environment
 from repro.storage.device import PRIO_READAHEAD, PRIO_SYNC, IORequest
 from repro.storage.ssd import SSDevice
-from repro.units import MIB, PAGE_SIZE
+from repro.units import PAGE_SIZE
 
 request_strategy = st.tuples(
     st.integers(0, 1000),              # page offset

@@ -8,7 +8,6 @@ from repro.units import MIB
 from repro.workloads.profile import FunctionProfile
 from repro.workloads.trace import (
     Alloc,
-    Compute,
     Free,
     TouchRun,
     generate_trace,
