@@ -14,7 +14,7 @@ Run:
 
 from repro import MIB, make_kernel
 from repro.core.grouping import group_offsets
-from repro.core.progs import build_capture_program, make_ws_map
+from repro.core.progs import build_capture_program, make_events_ringbuf
 from repro.ebpf.asm import assemble, call, exit_, load, movi
 from repro.ebpf.insn import R0, R1, R3
 from repro.ebpf.verifier import VerificationError, Verifier
@@ -53,8 +53,8 @@ def capture_and_group() -> None:
     snapshot = kernel.filestore.create("demo.snap", 16 * MIB)
     other = kernel.filestore.create("noise.dat", MIB)
 
-    ws_map = make_ws_map("demo_ws")
-    capture = build_capture_program(snapshot.ino, ws_map)
+    events = make_events_ringbuf("demo_events")
+    capture = build_capture_program(snapshot.ino, events)
     kernel.kprobes.attach(HOOK_ADD_TO_PAGE_CACHE, capture)
     print(f"  capture program: {len(capture.insns)} instructions, "
           f"verified and attached")
@@ -73,12 +73,12 @@ def capture_and_group() -> None:
 
     kernel.env.run(kernel.env.process(toucher()))
 
-    entries = ws_map.items_u64()
+    entries = events.consume_u64s()
     print(f"  captured {len(entries)} offsets "
           f"(noise file filtered by inode): "
           f"{sorted(offset for offset, _ts in entries)}")
 
-    groups = group_offsets((offset, ts[0]) for offset, ts in entries)
+    groups = group_offsets(entries)
     print("  grouped + sorted by earliest access:")
     for group in groups:
         print(f"    pages [{group.start}, {group.end}) "

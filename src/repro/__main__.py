@@ -8,11 +8,15 @@ Commands:
                                functions with --functions json,bert)
   chaos FN [APPROACH ...]      serve a request train under a seeded fault
                                schedule; report degradation counters
+  trace FN APPROACH            run one scenario with span tracing on and
+                               write a chrome://tracing-loadable JSON
+                               (plus optional JSONL)
 
 Examples:
   python -m repro run bert snapbpf -n 10
   python -m repro fig 3c --functions bfs,bert
   python -m repro chaos json snapbpf linux-ra --fault-seed 7
+  python -m repro trace json snapbpf -o restore.json --jsonl spans.jsonl
 """
 
 from __future__ import annotations
@@ -54,6 +58,11 @@ def cmd_run(args) -> int:
           f"[{args.device}]:")
     print(f"  mean E2E      {result.mean_e2e * 1e3:10.1f} ms "
           f"(max {result.max_e2e * 1e3:.1f} ms)")
+    print(f"  E2E p50/95/99 {result.p50_e2e * 1e3:10.1f} / "
+          f"{result.p95_e2e * 1e3:.1f} / {result.p99_e2e * 1e3:.1f} ms")
+    print(f"  dev p50/95/99 {result.device_p50_latency * 1e6:10.0f} / "
+          f"{result.device_p95_latency * 1e6:.0f} / "
+          f"{result.device_p99_latency * 1e6:.0f} us")
     print(f"  peak memory   {result.peak_memory_bytes / GIB:10.2f} GiB")
     print(f"  device reads  {result.device_bytes_read / MIB:10.1f} MiB in "
           f"{result.device_requests} requests")
@@ -116,6 +125,39 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    try:
+        profile = profile_by_name(args.function)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    from repro.harness.experiment import make_kernel
+    from repro.trace import write_chrome, write_jsonl
+
+    kernel = make_kernel(args.device)
+    kernel.tracer.enable()
+    result = run_scenario(profile, args.approach,
+                          n_instances=args.instances,
+                          device_kind=args.device, kernel=kernel)
+    tracer = kernel.tracer
+    with open(args.out, "w") as fp:
+        write_chrome(tracer, fp)
+    print(f"wrote {len(tracer)} spans to {args.out} "
+          f"(load in chrome://tracing or Perfetto)")
+    if args.jsonl:
+        with open(args.jsonl, "w") as fp:
+            write_jsonl(tracer, fp)
+        print(f"wrote JSONL spans to {args.jsonl}")
+    if tracer.dropped:
+        print(f"warning: {tracer.dropped} spans dropped (buffer full)")
+    print(f"mean E2E {result.mean_e2e * 1e3:.1f} ms over "
+          f"{args.instances} instance(s); simulated time by category:")
+    for cat, total in sorted(tracer.category_totals().items(),
+                             key=lambda kv: -kv[1]):
+        print(f"  {cat:12s} {total * 1e3:10.3f} ms")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="SnapBPF reproduction harness")
@@ -158,9 +200,23 @@ def main(argv: list[str] | None = None) -> int:
     chaos_parser.add_argument("--device", choices=("ssd", "hdd"),
                               default="ssd")
 
+    trace_parser = sub.add_parser(
+        "trace", help="run one scenario with span tracing enabled")
+    trace_parser.add_argument("function")
+    trace_parser.add_argument("approach",
+                              choices=sorted(approach_registry()))
+    trace_parser.add_argument("-n", "--instances", type=int, default=1)
+    trace_parser.add_argument("-o", "--out", default="trace.json",
+                              help="Chrome trace output path")
+    trace_parser.add_argument("--jsonl", default=None,
+                              help="also write one-span-per-line JSONL")
+    trace_parser.add_argument("--device", choices=("ssd", "hdd"),
+                              default="ssd")
+
     args = parser.parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "table1": cmd_table1,
-               "fig": cmd_fig, "chaos": cmd_chaos}[args.command]
+               "fig": cmd_fig, "chaos": cmd_chaos, "trace": cmd_trace}[
+        args.command]
     return handler(args)
 
 

@@ -15,7 +15,11 @@
 from repro.core.approach import PVPTEsOnly, SnapBPF
 from repro.core.grouping import Group, group_offsets, groups_metadata_bytes
 from repro.core.kfuncs import SNAPBPF_PREFETCH, register_snapbpf_kfunc
-from repro.core.progs import build_capture_program, build_prefetch_program
+from repro.core.progs import (
+    build_capture_program,
+    build_prefetch_program,
+    make_events_ringbuf,
+)
 
 __all__ = [
     "Group",
@@ -24,6 +28,7 @@ __all__ = [
     "SnapBPF",
     "build_capture_program",
     "build_prefetch_program",
+    "make_events_ringbuf",
     "group_offsets",
     "groups_metadata_bytes",
     "register_snapbpf_kfunc",

@@ -24,9 +24,9 @@ from repro.core.progs import (
     build_capture_program,
     build_prefetch_program,
     load_groups,
+    make_events_ringbuf,
     make_groups_map,
     make_state_map,
-    make_ws_map,
 )
 from repro.ebpf.kprobe import AttachError
 from repro.mm.page_cache import HOOK_ADD_TO_PAGE_CACHE
@@ -67,6 +67,10 @@ class SnapBPF(Approach):
         #: "SnapBPF Overheads" measurement.
         self.map_load_seconds: dict[str, float] = {}
         self.captured_pages = 0
+        #: Capture events lost to a full ring buffer (e.g. after a
+        #: fault-plane capacity squeeze): those pages simply are not
+        #: prefetched, the restore demand-pages them instead.
+        self.capture_events_dropped = 0
         #: Fault plane: capture program attaches that failed during
         #: prepare (recording proceeds without eBPF capture).
         self.capture_attach_failures = 0
@@ -75,6 +79,15 @@ class SnapBPF(Approach):
         #: setup failed — metadata unreadable, groups map overflowed
         #: after a capacity squeeze, or the program would not attach.
         self.prefetch_fallbacks = 0
+        # Degradation counters are plain attributes (the chaos harness
+        # reads them directly); the registry sees them via a collector.
+        # Multiple instances on one kernel sum, by collector semantics.
+        kernel.metrics.register_collector(lambda: {
+            "approach_captured_pages": self.captured_pages,
+            "approach_capture_events_dropped": self.capture_events_dropped,
+            "approach_capture_attach_failures": self.capture_attach_failures,
+            "approach_prefetch_fallbacks": self.prefetch_fallbacks,
+        })
 
     # -- record phase -------------------------------------------------------------
     def prepare(self, profile: FunctionProfile, record_trace):
@@ -82,10 +95,10 @@ class SnapBPF(Approach):
         costs = self.kernel.costs
         self.snapshot = build_snapshot(self.kernel, profile,
                                        suffix=f".{self.name}")
-        ws_map = make_ws_map(
-            f"ws_{profile.name}",
+        events = make_events_ringbuf(
+            f"events_{profile.name}",
             max_entries=self.kernel.kprobes.map_capacity(1 << 21))
-        capture = build_capture_program(self.snapshot.file.ino, ws_map)
+        capture = build_capture_program(self.snapshot.file.ino, events)
         try:
             self.kernel.kprobes.attach(HOOK_ADD_TO_PAGE_CACHE, capture)
         except AttachError:
@@ -106,11 +119,23 @@ class SnapBPF(Approach):
             if capture is not None:
                 self.kernel.kprobes.detach(HOOK_ADD_TO_PAGE_CACHE, capture)
 
-        # VMM drains the offsets map, groups + sorts, stores metadata.
-        entries = ws_map.items_u64()
-        yield env.timeout(len(entries) * costs.bpf_map_lookup)
-        self.captured_pages = len(entries)
-        self.groups = group_offsets((idx, ts[0]) for idx, ts in entries)
+        # VMM consumes the event ring — records arrive in page-cache
+        # insertion order — dedups to first access per offset, groups +
+        # sorts, and stores the metadata.
+        records = events.consume_u64s()
+        yield env.timeout(len(records) * costs.bpf_ringbuf_consume)
+        tracer = env.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant(f"{self.name}:ring-drain", "record", env.now,
+                           track="record", records=len(records),
+                           dropped=events.dropped)
+        first_access: dict[int, int] = {}
+        for offset, access_ns in records:
+            if offset not in first_access:
+                first_access[offset] = access_ns
+        self.captured_pages = len(first_access)
+        self.capture_events_dropped += events.dropped
+        self.groups = group_offsets(first_access.items())
         meta_bytes = groups_metadata_bytes(self.groups)
         self._meta_file = (self.kernel.filestore.create(
             f"{profile.name}.{self.name}.groups", meta_bytes)
@@ -126,10 +151,16 @@ class SnapBPF(Approach):
         vm = MicroVM(self.kernel, snapshot, pv_marking=self.pv_marking,
                      patched_cow=self.patched_cow, vm_id=vm_id)
         vm._spawn_time = start
+        tracer = env.tracer
+        tracing = tracer is not None and tracer.enabled
         vma = vm.space.mmap(snapshot.mem_pages, file=snapshot.file,
                             at=GUEST_BASE_VPN, ra_pages=self.ra_pages,
                             name="guest-mem")
         yield env.timeout(costs.mmap_region)
+        if tracing:
+            tracer.complete(f"{self.name}:mmap", "restore", start,
+                            end=env.now, track=vm.vm_id)
+        setup_start = env.now
 
         vm._snapbpf_prog = None  # for cleanup in post_invoke
         try:
@@ -162,11 +193,20 @@ class SnapBPF(Approach):
             vma.ra = ReadaheadState(DEFAULT_READAHEAD_PAGES)
 
         vm.setup_seconds = env.now - start
+        if tracing:
+            tracer.complete(f"{self.name}:prefetch-setup", "restore",
+                            setup_start, end=env.now, track=vm.vm_id,
+                            groups=len(self.groups),
+                            fallback=vm._snapbpf_prog is None)
 
         # (3) Trigger prefetching by touching the first snapshot page.
+        trigger_start = env.now
         trigger_cost = yield from vm.space.handle_fault(vm.guest_vpn(0),
                                                         False)
         yield env.timeout(trigger_cost)
+        if tracing:
+            tracer.complete(f"{self.name}:trigger", "restore",
+                            trigger_start, end=env.now, track=vm.vm_id)
         return vm
 
     def post_invoke(self, vm: MicroVM) -> None:

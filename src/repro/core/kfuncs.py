@@ -37,6 +37,11 @@ def register_snapbpf_kfunc(kernel: Kernel) -> None:
         cost = kernel.page_cache.page_cache_ra_unbounded(
             file, start_page, npages)
         kernel.kprobes.side_cost += cost
+        tracer = kernel.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant(SNAPBPF_PREFETCH, "ebpf", kernel.env.now,
+                           track="ebpf", ino=ino, start=start_page,
+                           npages=npages)
         return min(npages, max(0, file.size_pages - start_page))
 
     kernel.kfuncs.register(SNAPBPF_PREFETCH, snapbpf_prefetch, n_args=3)

@@ -4,9 +4,10 @@ Both attach to the kprobe on ``add_to_page_cache_lru`` whose context is
 ``(u64 ino, u64 page_index)``.
 
 Capture program (§3.1 "Capturing the working set"): filters insertions to
-the function's snapshot inode and records each page's file offset and
-first-access timestamp in a hash map the VMM drains after the record
-invocation.  Only offsets are stored — never the pages themselves.
+the function's snapshot inode and streams one ``(offset, access ns)``
+event per insertion into a BPF ring buffer the VMM consumes after the
+record invocation (deduplicating to first access in userspace — the ring
+has no random access).  Only offsets are shipped — never the pages.
 
 Prefetch program (§3.1 "Loading the working set"): on the first
 insertion for the snapshot inode (the VMM's trigger touch), it walks the
@@ -42,16 +43,20 @@ from repro.ebpf.asm import (
 from repro.ebpf.helpers import (
     BPF_FUNC_KTIME_GET_NS,
     BPF_FUNC_MAP_LOOKUP_ELEM,
-    BPF_FUNC_MAP_UPDATE_ELEM,
+    BPF_FUNC_RINGBUF_OUTPUT,
 )
-from repro.ebpf.insn import R0, R1, R2, R3, R4, R6, R7, R8, R10
+from repro.ebpf.insn import R0, R1, R2, R3, R6, R7, R8, R10
 from repro.ebpf.kprobe import RET_DETACH_SELF
-from repro.ebpf.maps import ArrayMap, HashMap
+from repro.ebpf.maps import ArrayMap, RingBufMap
+
+#: Capture event layout: ``(u64 page_offset, u64 access_ns)``.
+CAPTURE_EVENT_SIZE = 16
 
 
-def make_ws_map(name: str, max_entries: int = 1 << 21) -> HashMap:
-    """Map the capture program fills: page offset (u64) -> first-access ns."""
-    return HashMap(name, key_size=8, value_size=8, max_entries=max_entries)
+def make_events_ringbuf(name: str, max_entries: int = 1 << 21) -> RingBufMap:
+    """Ring buffer the capture program streams access events into."""
+    return RingBufMap(name, value_size=CAPTURE_EVENT_SIZE,
+                      max_entries=max_entries)
 
 
 def make_groups_map(name: str, n_groups: int) -> ArrayMap:
@@ -79,32 +84,32 @@ def load_groups(groups_map: ArrayMap, groups) -> None:
                           struct.pack("<QQ", group.start, group.count))
 
 
-def build_capture_program(snapshot_ino: int, ws_map: HashMap,
+def build_capture_program(snapshot_ino: int, events: RingBufMap,
                           name: str = "snapbpf_capture") -> Program:
-    """Record (offset -> first-access timestamp) for snapshot-inode pages."""
+    """Stream one (offset, access ns) event per snapshot-inode insertion.
+
+    The in-kernel side does no deduplication — the ring buffer has no
+    lookup, by design — so the VMM keeps the first-access timestamp per
+    offset when it consumes the ring.  A full ring drops the event
+    (``bpf_ringbuf_output`` returns -ENOSPC) rather than stalling the
+    page-cache insertion path.
+    """
     source = [
         load(R6, R1, 0),                       # r6 = ctx->ino
         jcond("jne", R6, "out", imm=snapshot_ino),
         load(R7, R1, 8),                       # r7 = ctx->index
         call(BPF_FUNC_KTIME_GET_NS),
         mov(R8, R0),                           # r8 = now_ns
-        store(R10, -8, R7),                    # key = index
-        ldmap(R1, "ws"),
-        mov(R2, R10), alui("add", R2, -8),
-        call(BPF_FUNC_MAP_LOOKUP_ELEM),
-        jcond("jne", R0, "out", imm=0),        # already recorded: keep
-                                               # the FIRST access time
-        store(R10, -16, R8),                   # value = timestamp
-        ldmap(R1, "ws"),
-        mov(R2, R10), alui("add", R2, -8),
-        mov(R3, R10), alui("add", R3, -16),
-        movi(R4, 0),
-        call(BPF_FUNC_MAP_UPDATE_ELEM),
+        store(R10, -16, R7),                   # event.offset
+        store(R10, -8, R8),                    # event.access_ns
+        ldmap(R1, "events"),
+        mov(R2, R10), alui("add", R2, -16),
+        call(BPF_FUNC_RINGBUF_OUTPUT),
         Label("out"),
         movi(R0, 0),
         exit_(),
     ]
-    return assemble(name, source, maps={"ws": ws_map})
+    return assemble(name, source, maps={"events": events})
 
 
 def build_prefetch_program(snapshot_ino: int, groups_map: ArrayMap,

@@ -9,8 +9,9 @@ subsystem itself:
 
 * a register-machine instruction set (:mod:`repro.ebpf.insn`) with an
   assembler (:mod:`repro.ebpf.asm`),
-* HASH/ARRAY maps with the classic helper call interface
-  (:mod:`repro.ebpf.maps`, :mod:`repro.ebpf.helpers`),
+* HASH/ARRAY maps with the classic helper call interface, plus a
+  RINGBUF map with reserve/commit semantics and an ordered userspace
+  consumer (:mod:`repro.ebpf.maps`, :mod:`repro.ebpf.helpers`),
 * a static verifier (:mod:`repro.ebpf.verifier`) that performs abstract
   interpretation over register types — rejecting uninitialized reads,
   out-of-bounds stack/map accesses, dereferences of unchecked
@@ -30,7 +31,7 @@ from repro.ebpf.asm import Label, Program, assemble
 from repro.ebpf.interp import ExecutionResult, Interpreter, RuntimeFault
 from repro.ebpf.kfunc import KfuncRegistry
 from repro.ebpf.kprobe import KprobeManager
-from repro.ebpf.maps import ArrayMap, BpfMap, HashMap
+from repro.ebpf.maps import ArrayMap, BpfMap, HashMap, MapError, RingBufMap
 from repro.ebpf.verifier import VerificationError, Verifier
 
 __all__ = [
@@ -42,7 +43,9 @@ __all__ = [
     "KfuncRegistry",
     "KprobeManager",
     "Label",
+    "MapError",
     "Program",
+    "RingBufMap",
     "RuntimeFault",
     "VerificationError",
     "Verifier",

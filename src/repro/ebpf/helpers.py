@@ -16,6 +16,7 @@ BPF_FUNC_MAP_UPDATE_ELEM = 2
 BPF_FUNC_MAP_DELETE_ELEM = 3
 BPF_FUNC_KTIME_GET_NS = 5
 BPF_FUNC_TRACE_PRINTK = 6
+BPF_FUNC_RINGBUF_OUTPUT = 130
 
 # Argument archetypes used by the verifier.
 ARG_CONST_MAP_PTR = "const_map_ptr"
@@ -29,6 +30,10 @@ RET_MAP_VALUE_OR_NULL = "map_value_or_null"
 RET_VOID = "void"
 
 
+#: Map kinds admitting the classic lookup/update/delete key/value API.
+KEYED_MAP_KINDS = ("hash", "array")
+
+
 @dataclass(frozen=True)
 class HelperSpec:
     """Static signature of one helper, consumed by the verifier."""
@@ -37,6 +42,12 @@ class HelperSpec:
     name: str
     args: tuple[str, ...]
     ret: str
+    #: Map kinds legal for this helper's ARG_CONST_MAP_PTR argument
+    #: (``None`` = any).  The kernel encodes the same compatibility matrix
+    #: in ``check_map_func_compatibility``; e.g. ``bpf_ringbuf_output``
+    #: on a hash map — or ``bpf_map_lookup_elem`` on a ringbuf — is a
+    #: verifier rejection, not a runtime error.
+    map_kinds: tuple[str, ...] | None = None
 
 
 HELPERS: dict[int, HelperSpec] = {
@@ -44,18 +55,21 @@ HELPERS: dict[int, HelperSpec] = {
     for spec in (
         HelperSpec(BPF_FUNC_MAP_LOOKUP_ELEM, "bpf_map_lookup_elem",
                    (ARG_CONST_MAP_PTR, ARG_PTR_TO_MAP_KEY),
-                   RET_MAP_VALUE_OR_NULL),
+                   RET_MAP_VALUE_OR_NULL, map_kinds=KEYED_MAP_KINDS),
         HelperSpec(BPF_FUNC_MAP_UPDATE_ELEM, "bpf_map_update_elem",
                    (ARG_CONST_MAP_PTR, ARG_PTR_TO_MAP_KEY,
                     ARG_PTR_TO_MAP_VALUE, ARG_SCALAR),
-                   RET_INTEGER),
+                   RET_INTEGER, map_kinds=KEYED_MAP_KINDS),
         HelperSpec(BPF_FUNC_MAP_DELETE_ELEM, "bpf_map_delete_elem",
                    (ARG_CONST_MAP_PTR, ARG_PTR_TO_MAP_KEY),
-                   RET_INTEGER),
+                   RET_INTEGER, map_kinds=KEYED_MAP_KINDS),
         HelperSpec(BPF_FUNC_KTIME_GET_NS, "bpf_ktime_get_ns",
                    (), RET_INTEGER),
         HelperSpec(BPF_FUNC_TRACE_PRINTK, "bpf_trace_printk",
                    (ARG_SCALAR,), RET_INTEGER),
+        HelperSpec(BPF_FUNC_RINGBUF_OUTPUT, "bpf_ringbuf_output",
+                   (ARG_CONST_MAP_PTR, ARG_PTR_TO_MAP_VALUE),
+                   RET_INTEGER, map_kinds=("ringbuf",)),
     )
 }
 

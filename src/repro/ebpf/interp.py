@@ -40,6 +40,11 @@ from repro.ebpf.maps import BpfMap
 
 INSN_BUDGET = 1 << 20
 
+#: Cost of one interpreted BPF instruction.  JITed eBPF runs at roughly
+#: nanosecond-per-instruction scale; the exact constant only needs to keep
+#: program overhead small relative to I/O, which the paper confirms (<1 %).
+INSN_COST_SECONDS = 2e-9
+
 
 class RuntimeFault(RuntimeError):
     """Illegal runtime behaviour (should be prevented by the verifier)."""
@@ -108,6 +113,9 @@ class Interpreter:
         self.kfuncs = kfuncs or KfuncRegistry()
         self.time_ns = time_ns or (lambda: 0)
         self.printk_log: list[int] = []
+        #: Trace plane hook (duck-typed; see repro.trace).  When set and
+        #: enabled, every completed program run emits one span.
+        self.tracer = None
 
     def run(self, program: Program, ctx: bytes = b"",
             budget: int = INSN_BUDGET) -> ExecutionResult:
@@ -117,6 +125,8 @@ class Interpreter:
         regs[R1] = _Ptr(ctx_region, 0)
         regs[FP] = _Ptr(stack, STACK_SIZE)
 
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         pc = 0
         executed = 0
         while True:
@@ -132,6 +142,12 @@ class Interpreter:
                 r0 = regs[R0]
                 if not isinstance(r0, int):
                     raise RuntimeFault("exit with non-scalar R0")
+                if tracing:
+                    tracer.complete(
+                        f"bpf:{program.name}", "ebpf",
+                        self.time_ns() / 1e9,
+                        dur=executed * INSN_COST_SECONDS, track="ebpf",
+                        insns=executed, r0=r0)
                 return ExecutionResult(r0=r0, insn_count=executed)
             if isinstance(insn, Alu):
                 self._alu(regs, insn)
@@ -301,6 +317,14 @@ class Interpreter:
             except ValueError:
                 return (-1) & U64_MASK
             return 0
+        if spec.helper_id == H.BPF_FUNC_RINGBUF_OUTPUT:
+            bpf_map = self._map_arg(regs[R1])
+            if bpf_map.KIND != "ringbuf":
+                raise RuntimeFault("bpf_ringbuf_output on non-ringbuf map")
+            data = self._buffer_arg(regs[R1 + 1], bpf_map.value_size)
+            # reserve + copy + commit; a full ring is -ENOSPC (flattened
+            # to -1 like the update helper), never a fault.
+            return bpf_map.output(data) & U64_MASK
         if spec.helper_id == H.BPF_FUNC_KTIME_GET_NS:
             return int(self.time_ns()) & U64_MASK
         if spec.helper_id == H.BPF_FUNC_TRACE_PRINTK:

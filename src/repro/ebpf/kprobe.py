@@ -17,14 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.ebpf.asm import Program
-from repro.ebpf.interp import Interpreter
+from repro.ebpf.interp import INSN_COST_SECONDS, Interpreter
 from repro.ebpf.kfunc import KfuncRegistry
 from repro.ebpf.verifier import Verifier
 
-#: Cost of one interpreted BPF instruction.  JITed eBPF runs at roughly
-#: nanosecond-per-instruction scale; the exact constant only needs to keep
-#: program overhead small relative to I/O, which the paper confirms (<1 %).
-INSN_COST_SECONDS = 2e-9
+__all__ = ["INSN_COST_SECONDS", "RET_DETACH_SELF", "KprobeError",
+           "AttachError", "HookPoint", "KprobeManager"]
 
 #: A program returning this value from a fire asks to be detached — the
 #: "disable itself" semantics SnapBPF's prefetch program uses once it has

@@ -13,6 +13,7 @@ bounds-checked by the verifier against ``value_size``.
 from __future__ import annotations
 
 import struct
+from collections import deque
 
 
 class MapError(ValueError):
@@ -167,3 +168,142 @@ class ArrayMap(BpfMap):
 
     def keys(self) -> list[bytes]:
         return [struct.pack("<I", i) for i in range(self.max_entries)]
+
+
+class RingRecord:
+    """One reserved ringbuf record: a writable slot plus its commit state.
+
+    Mirrors the kernel's per-record header: a record is *pending* between
+    ``bpf_ringbuf_reserve`` and ``bpf_ringbuf_submit``/``discard``, and
+    the consumer must stop at the first pending record because commits
+    can land out of reservation order.
+    """
+
+    __slots__ = ("data", "state")
+
+    PENDING = "pending"
+    COMMITTED = "committed"
+    DISCARDED = "discarded"
+
+    def __init__(self, size: int):
+        self.data = bytearray(size)
+        self.state = RingRecord.PENDING
+
+
+class RingBufMap(BpfMap):
+    """BPF_MAP_TYPE_RINGBUF: an ordered kernel-to-userspace event stream.
+
+    The kernel's ringbuf is a byte ring; records are reserved (allocating
+    space while marking the record busy), written in place, then committed
+    or discarded.  The userspace consumer observes records strictly in
+    reservation order and stops at the first uncommitted one.  This model
+    keeps those semantics but fixes the record size to ``value_size`` so
+    the verifier can statically bound the ``bpf_ringbuf_output`` payload
+    (no scalar-range tracking is needed), and counts capacity in records
+    rather than bytes.
+
+    Unlike hash/array maps there is no random access: lookup/update/
+    delete raise :class:`MapError` (the kernel returns ``-ENOTSUPP``),
+    and the verifier rejects such helper calls outright.
+    """
+
+    KIND = "ringbuf"
+
+    def __init__(self, name: str, value_size: int = 16,
+                 max_entries: int = 4096):
+        if value_size <= 0 or max_entries <= 0:
+            raise MapError("map dimensions must be positive")
+        self.name = name
+        self.key_size = 0  # ringbufs are keyless, as in the kernel
+        self.value_size = value_size
+        self.max_entries = max_entries
+        self._records: deque[RingRecord] = deque()
+        #: Reservations refused because the ring was full.  Userspace
+        #: reads this to learn it lost events (the paper's capture path
+        #: degrades, it does not block the kernel).
+        self.dropped = 0
+
+    # -- producer side (program / kernel) -------------------------------------
+    def reserve(self, size: int | None = None) -> RingRecord | None:
+        """Reserve one record; ``None`` when the ring is full (drop)."""
+        if size is not None and size != self.value_size:
+            raise MapError(
+                f"ringbuf {self.name!r}: record size {size} != "
+                f"{self.value_size}")
+        if len(self._records) >= self.max_entries:
+            self.dropped += 1
+            return None
+        record = RingRecord(self.value_size)
+        self._records.append(record)
+        return record
+
+    def commit(self, record: RingRecord) -> None:
+        """Make a reserved record visible to the consumer."""
+        if record.state != RingRecord.PENDING:
+            raise MapError(
+                f"ringbuf {self.name!r}: commit of {record.state} record")
+        record.state = RingRecord.COMMITTED
+
+    def discard(self, record: RingRecord) -> None:
+        """Abandon a reserved record; its slot frees once consumed past."""
+        if record.state != RingRecord.PENDING:
+            raise MapError(
+                f"ringbuf {self.name!r}: discard of {record.state} record")
+        record.state = RingRecord.DISCARDED
+
+    def output(self, data: bytes) -> int:
+        """reserve + copy + commit, the ``bpf_ringbuf_output`` fast path.
+
+        Returns 0 on success, -1 when the ring is full (the helper's
+        ``-ENOSPC`` contract, flattened like the map-update helper's).
+        """
+        payload = self._check_value(data)
+        record = self.reserve()
+        if record is None:
+            return -1
+        record.data[:] = payload
+        self.commit(record)
+        return 0
+
+    # -- consumer side (userspace) ---------------------------------------------
+    def consume(self, max_records: int | None = None) -> list[bytes]:
+        """Drain committed records in reservation order.
+
+        Stops at the first still-pending record (its space is not yet
+        released) and silently skips discarded ones, exactly like
+        ``ring_buffer__consume``.
+        """
+        out: list[bytes] = []
+        while self._records and (max_records is None
+                                 or len(out) < max_records):
+            head = self._records[0]
+            if head.state == RingRecord.PENDING:
+                break
+            self._records.popleft()
+            if head.state == RingRecord.COMMITTED:
+                out.append(bytes(head.data))
+        return out
+
+    def consume_u64s(self, max_records: int | None = None
+                     ) -> list[tuple[int, ...]]:
+        """:meth:`consume`, with each record decoded as little-endian u64s."""
+        count = self.value_size // 8
+        return [struct.unpack(f"<{count}Q", record[: count * 8])
+                for record in self.consume(max_records)]
+
+    # -- no random access -------------------------------------------------------
+    def lookup(self, key: bytes) -> bytearray | None:
+        raise MapError(f"ringbuf {self.name!r} has no lookup")
+
+    def update(self, key: bytes, value: bytes) -> None:
+        raise MapError(f"ringbuf {self.name!r} has no update")
+
+    def delete(self, key: bytes) -> None:
+        raise MapError(f"ringbuf {self.name!r} has no delete")
+
+    def keys(self) -> list[bytes]:
+        raise MapError(f"ringbuf {self.name!r} has no keys")
+
+    def __len__(self) -> int:
+        """Records currently occupying the ring (committed or pending)."""
+        return len(self._records)

@@ -377,6 +377,12 @@ class Verifier:
                         pc, f"{spec.name} arg{arg_idx + 1} must be a map "
                             f"pointer, got {value!r}")
                 map_name = value.map_name
+                kind = program.map_named(map_name).KIND
+                if spec.map_kinds is not None and kind not in spec.map_kinds:
+                    raise VerificationError(
+                        pc, f"{spec.name} is incompatible with {kind} map "
+                            f"{map_name!r} (allowed: "
+                            f"{', '.join(spec.map_kinds)})")
             elif arg_type in (H.ARG_PTR_TO_MAP_KEY, H.ARG_PTR_TO_MAP_VALUE):
                 if map_name is None:
                     raise VerificationError(pc, f"{spec.name}: no map argument "

@@ -109,4 +109,11 @@ class FaultSchedule:
         kernel.device.fault_injector = self.device
         kernel.filestore.fault_injector = self.filestore
         kernel.kprobes.fault_injector = self.ebpf
+        # Publish the injection counters through the machine's registry
+        # (``fault_*`` keys) so one snapshot covers the whole stack.  The
+        # injectors keep owning the plain attributes; a collector is the
+        # registry's view onto them.
+        kernel.metrics.register_collector(
+            lambda: {f"fault_{key}": value
+                     for key, value in self.stats.snapshot().items()})
         return self

@@ -75,12 +75,25 @@ def run_scenario(profile: FunctionProfile,
     vms: list = []
 
     def one_instance(index: int):
+        start = env.now
         vm = yield from approach.spawn(profile, vm_id=f"vm{index}")
         vms.append(vm)
         instance_trace = trace
         if vary_inputs and index > 0:
             instance_trace = generate_trace(profile, input_seed + index)
         stats = yield from vm.invoke(instance_trace)
+        tracer = env.tracer
+        if tracer is not None and tracer.enabled:
+            # The per-instance E2E span (exactly e2e_seconds long) plus
+            # its phase breakdown laid end-to-end beneath it — these are
+            # the spans the trace-vs-result consistency test sums.
+            track = f"vm{index}"
+            tracer.complete(f"restore {track}", "restore", start,
+                            dur=stats.e2e_seconds, track=track)
+            t = start
+            for phase, dur in stats.breakdown.items():
+                tracer.complete(phase, "e2e", t, dur=dur, track=track)
+                t += dur
         return stats
 
     processes = [env.process(one_instance(i), name=f"instance-{i}")
@@ -102,6 +115,10 @@ def run_scenario(profile: FunctionProfile,
         bpf_hook_seconds=(kernel.page_cache.stats.bpf_hook_seconds
                           - hook_seconds_before),
         prepare_seconds=prepare_seconds,
+        metrics=kernel.metrics.snapshot(),
+        device_p50_latency=kernel.device.stats.p50_latency,
+        device_p95_latency=kernel.device.stats.p95_latency,
+        device_p99_latency=kernel.device.stats.p99_latency,
     )
     _collect_extras(approach, result)
     for vm in vms:

@@ -1,5 +1,31 @@
-"""Result types for experiments."""
+"""Result types and the unified metrics registry.
 
-from repro.metrics.results import ScenarioResult, summarize
+The registry is imported eagerly (low-level layers depend on it); the
+result types are lazy because :mod:`repro.metrics.results` pulls in the
+VMM stack, which itself sits above the layers that import the registry.
+"""
 
-__all__ = ["ScenarioResult", "summarize"]
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "ScenarioResult",
+    "summarize",
+]
+
+
+def __getattr__(name):
+    if name in ("ScenarioResult", "summarize"):
+        from repro.metrics import results
+        return getattr(results, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -38,6 +38,13 @@ class ScenarioResult:
     prepare_seconds: float = 0.0
     #: Approach-specific extras (WS sizes, inflation ratios, ...).
     extra: dict[str, float] = field(default_factory=dict)
+    #: Full registry snapshot of the host at scenario end (device, cache,
+    #: fault, and approach counters under one namespace).
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: Device request-latency percentiles over the invocation phase.
+    device_p50_latency: float = 0.0
+    device_p95_latency: float = 0.0
+    device_p99_latency: float = 0.0
 
     # -- summaries ----------------------------------------------------------------
     @property
@@ -46,11 +53,36 @@ class ScenarioResult:
 
     @property
     def mean_e2e(self) -> float:
-        return statistics.fmean(self.e2e_latencies)
+        """Mean E2E latency; 0.0 for a (failed/empty) run with no
+        invocations rather than a crash — harness code tabulates results
+        before checking success."""
+        latencies = self.e2e_latencies
+        return statistics.fmean(latencies) if latencies else 0.0
 
     @property
     def max_e2e(self) -> float:
-        return max(self.e2e_latencies)
+        return max(self.e2e_latencies, default=0.0)
+
+    def percentile_e2e(self, p: float) -> float:
+        """Nearest-rank p-th percentile of the E2E latencies (0.0 when
+        there are no invocations)."""
+        values = sorted(self.e2e_latencies)
+        if not values:
+            return 0.0
+        rank = max(1, int(-(-len(values) * p // 100)))  # ceil, at least 1
+        return values[min(len(values), rank) - 1]
+
+    @property
+    def p50_e2e(self) -> float:
+        return self.percentile_e2e(50)
+
+    @property
+    def p95_e2e(self) -> float:
+        return self.percentile_e2e(95)
+
+    @property
+    def p99_e2e(self) -> float:
+        return self.percentile_e2e(99)
 
     @property
     def peak_memory_gib(self) -> float:

@@ -44,6 +44,10 @@ class CostModel:
     bpf_map_update: float = 0.6 * USEC
     #: bpf() syscall reading one map element from userspace.
     bpf_map_lookup: float = 0.5 * USEC
+    #: Consuming one record from a BPF ring buffer.  The consumer reads
+    #: the mmap'd producer pages directly — no syscall per record — so
+    #: this is an order of magnitude cheaper than a map lookup.
+    bpf_ringbuf_consume: float = 0.05 * USEC
     #: Loading + verifying + attaching a BPF program.
     bpf_prog_attach: float = 250.0 * USEC
     #: mincore() per page inspected.

@@ -13,6 +13,7 @@ from repro.ebpf.interp import Interpreter
 from repro.ebpf.kfunc import KfuncRegistry
 from repro.ebpf.kprobe import KprobeManager
 from repro.faults.retry import RetryPolicy
+from repro.metrics.registry import MetricsRegistry
 from repro.mm.address_space import AddressSpace
 from repro.mm.costs import CostModel
 from repro.mm.frames import FrameAllocator
@@ -22,6 +23,7 @@ from repro.sim import Environment
 from repro.storage.device import BlockDevice
 from repro.storage.filestore import FileStore
 from repro.storage.ssd import SSDevice
+from repro.trace import Tracer
 from repro.units import GIB, PAGE_SIZE
 
 
@@ -32,22 +34,35 @@ class Kernel:
                  device: BlockDevice | None = None,
                  ram_bytes: int = 256 * GIB,
                  costs: CostModel | None = None,
-                 retry_policy: RetryPolicy | None = RetryPolicy()):
+                 retry_policy: RetryPolicy | None = RetryPolicy(),
+                 tracer: Tracer | None = None):
         self.env = env or Environment()
+        #: Trace plane: one tracer per machine, shared by every subsystem
+        #: through the duck-typed ``env.tracer`` / ``interpreter.tracer``
+        #: hooks.  Disabled until ``kernel.tracer.enable()``.
+        self.tracer = tracer or Tracer()
+        self.env.tracer = self.tracer
         self.costs = costs or CostModel()
         self.device = device or SSDevice(self.env)
+        #: Metrics plane: one registry per machine.  The device constructs
+        #: its registry first (standalone devices need one too), so the
+        #: kernel adopts it and hands the same instance to every other
+        #: layer — the single source of truth the harness snapshots.
+        self.metrics: MetricsRegistry = self.device.registry
         self.filestore = FileStore(self.env, self.device)
         self.frames = FrameAllocator(total_frames=ram_bytes // PAGE_SIZE)
         self.kfuncs = KfuncRegistry()
         self.interpreter = Interpreter(
             kfuncs=self.kfuncs,
             time_ns=lambda: int(self.env.now * 1e9))
+        self.interpreter.tracer = self.tracer
         self.kprobes = KprobeManager(kfuncs=self.kfuncs,
                                      interpreter=self.interpreter)
         self.page_cache = PageCache(self.env, self.frames, self.filestore,
                                     self.kprobes,
                                     insert_cost=self.costs.cache_insert,
-                                    retry_policy=retry_policy)
+                                    retry_policy=retry_policy,
+                                    registry=self.metrics)
         #: The installed FaultSchedule, if any (see FaultSchedule.install).
         self.faults = None
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.ebpf.kprobe import KprobeManager
 from repro.faults.retry import RetryPolicy
+from repro.metrics.registry import MetricsRegistry
 from repro.mm.frames import FILE, FrameAllocator, OutOfMemory
 from repro.sim import Environment, Event
 from repro.storage.device import PRIO_READAHEAD
@@ -51,18 +52,61 @@ class CacheEntry:
         return not self.uptodate
 
 
-@dataclass
 class CacheStats:
-    adds: int = 0
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    bpf_hook_seconds: float = 0.0
-    #: Transient I/O errors healed by re-issuing the read (fault plane).
-    io_retries: int = 0
-    #: Reads that exhausted the retry budget (or were not retryable):
-    #: pages dropped, waiters saw EIO.
-    io_failures: int = 0
+    """Page-cache counters, registry-backed (read-compatible facade).
+
+    The attribute names the old dataclass exposed are preserved as
+    properties; values live in the machine's
+    :class:`~repro.metrics.registry.MetricsRegistry` under ``cache_*``.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry or MetricsRegistry()
+        c = self.registry.counter
+        self._adds = c("cache_adds_total")
+        self._hits = c("cache_hits_total")
+        self._misses = c("cache_misses_total")
+        self._evictions = c("cache_evictions_total")
+        self._bpf_hook_seconds = c("cache_bpf_hook_seconds_total")
+        #: Transient I/O errors healed by re-issuing the read (fault plane).
+        self._io_retries = c("cache_io_retries_total")
+        #: Reads that exhausted the retry budget (or were not retryable):
+        #: pages dropped, waiters saw EIO.
+        self._io_failures = c("cache_io_failures_total")
+
+    @property
+    def adds(self) -> int:
+        return self._adds.value
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def bpf_hook_seconds(self) -> float:
+        return self._bpf_hook_seconds.value
+
+    @property
+    def io_retries(self) -> int:
+        return self._io_retries.value
+
+    @property
+    def io_failures(self) -> int:
+        return self._io_failures.value
+
+    def reset(self) -> None:
+        for metric in (self._adds, self._hits, self._misses,
+                       self._evictions, self._bpf_hook_seconds,
+                       self._io_retries, self._io_failures):
+            metric.reset()
 
 
 class PageCache:
@@ -71,7 +115,8 @@ class PageCache:
     def __init__(self, env: Environment, frames: FrameAllocator,
                  filestore: FileStore, kprobes: KprobeManager,
                  insert_cost: float = 0.15e-6,
-                 retry_policy: RetryPolicy | None = None):
+                 retry_policy: RetryPolicy | None = None,
+                 registry: MetricsRegistry | None = None):
         self.env = env
         self.frames = frames
         self.filestore = filestore
@@ -80,7 +125,7 @@ class PageCache:
         #: Bounded backoff-retry for transient read errors; ``None``
         #: fails waiters on the first error (the pre-fault-plane rule).
         self.retry_policy = retry_policy
-        self.stats = CacheStats()
+        self.stats = CacheStats(registry)
         self._entries: OrderedDict[tuple[int, int], CacheEntry] = OrderedDict()
         if HOOK_ADD_TO_PAGE_CACHE not in getattr(kprobes, "_hooks", {}):
             kprobes.declare_hook(HOOK_ADD_TO_PAGE_CACHE, HOOK_CTX_SIZE)
@@ -120,10 +165,10 @@ class PageCache:
         entry = CacheEntry(ino=file.ino, index=index, frame=frame,
                            io_event=self.env.event())
         self._entries[key] = entry
-        self.stats.adds += 1
+        self.stats._adds.inc()
         cost = self.kprobes.fire(HOOK_ADD_TO_PAGE_CACHE,
                                  struct.pack("<QQ", file.ino, index))
-        self.stats.bpf_hook_seconds += cost
+        self.stats._bpf_hook_seconds.inc(cost)
         return entry, cost + self.insert_cost
 
     # -- population -------------------------------------------------------------
@@ -166,6 +211,7 @@ class PageCache:
 
     def _issue(self, file: File, run_start: int, entries: list[CacheEntry],
                prio: int = 0, attempt: int = 1) -> None:
+        issued = self.env.now
         completion = self.filestore.read_pages(file, run_start, len(entries),
                                                prio=prio)
         # A failed read is handled here (pages dropped, waiters told), so
@@ -173,17 +219,19 @@ class PageCache:
         completion._defused = True
         completion.callbacks.append(
             lambda ev, file=file, entries=tuple(entries): self._io_done(
-                file, run_start, entries, ev, prio, attempt))
+                file, run_start, entries, ev, prio, attempt, issued))
 
     def _io_done(self, file: File, run_start: int,
                  entries: tuple[CacheEntry, ...], completion: Event,
-                 prio: int, attempt: int) -> None:
+                 prio: int, attempt: int, issued: float = 0.0) -> None:
+        self._trace_fill(file, run_start, len(entries), prio, attempt,
+                         issued, ok=completion.ok)
         if not completion.ok:
             error = completion.value
             policy = self.retry_policy
             if policy is not None and policy.should_retry(
                     attempt, getattr(error, "transient", False)):
-                self.stats.io_retries += 1
+                self.stats._io_retries.inc()
                 self.env.process(
                     self._retry(file, run_start, entries, prio, attempt),
                     name=f"pgcache-retry-{file.ino}-{run_start}-{attempt}")
@@ -198,6 +246,20 @@ class PageCache:
             if event is not None:
                 event.succeed(entry)
 
+    def _trace_fill(self, file: File, run_start: int, count: int,
+                    prio: int, attempt: int, issued: float,
+                    ok: bool) -> None:
+        """Span per fill read, issue to completion; readahead-class fills
+        (prefetch, async RA windows) get their own category so the viewer
+        separates demand misses from background I/O."""
+        tracer = self.env.tracer
+        if tracer is not None and tracer.enabled:
+            cat = "readahead" if prio == PRIO_READAHEAD else "cache"
+            tracer.complete(
+                f"fill {file.name}[{run_start}+{count}]", cat, issued,
+                end=self.env.now, track="cache", ino=file.ino,
+                start=run_start, count=count, attempt=attempt, ok=ok)
+
     def _retry(self, file: File, run_start: int,
                entries: tuple[CacheEntry, ...], prio: int, attempt: int):
         """Back off, then re-issue the failed read for the same (still
@@ -210,7 +272,7 @@ class PageCache:
                    error: BaseException) -> None:
         """Media error: drop the never-uptodate pages so later faults
         retry, and surface EIO (SIGBUS-style) to current waiters."""
-        self.stats.io_failures += 1
+        self.stats._io_failures.inc()
         for entry in entries:
             self._entries.pop((entry.ino, entry.index), None)
             self.frames.free(entry.frame)
@@ -270,7 +332,7 @@ class PageCache:
             if entry.uptodate and entry.frame.mapcount == 0:
                 del self._entries[key]
                 self.frames.free(entry.frame)
-                self.stats.evictions += 1
+                self.stats._evictions.inc()
                 freed += 1
         if freed < need:
             raise OutOfMemory("page cache reclaim could not free enough "

@@ -36,6 +36,9 @@ class Uffd:
         self._queue: Store = Store(env)
         #: In-flight faults: vpn -> wake event (dedups concurrent faulters).
         self._pending: dict[int, Event] = {}
+        #: Trace plane: notify time per in-flight vpn, so resolve/fail
+        #: can emit the notify-to-wakeup round-trip span.
+        self._notified_at: dict[int, float] = {}
         self.faults_delivered = 0
 
     # -- kernel side ------------------------------------------------------------
@@ -47,6 +50,7 @@ class Uffd:
             return wake
         wake = self.env.event()
         self._pending[vpn] = wake
+        self._notified_at[vpn] = self.env.now
         self._queue.put(UffdMsg(vpn=vpn, write=write, wake=wake))
         self.faults_delivered += 1
         return wake
@@ -69,6 +73,7 @@ class Uffd:
         """
         wake = self._pending.pop(vpn, None)
         if wake is not None:
+            self._trace_roundtrip(vpn, ok=True)
             wake.succeed()
 
     def fail(self, vpn: int, error: BaseException) -> None:
@@ -77,8 +82,17 @@ class Uffd:
         like a failed page-cache read on the mmap paths."""
         wake = self._pending.pop(vpn, None)
         if wake is not None:
+            self._trace_roundtrip(vpn, ok=False)
             wake._defused = True
             wake.fail(error)
+
+    def _trace_roundtrip(self, vpn: int, ok: bool) -> None:
+        notified = self._notified_at.pop(vpn, None)
+        tracer = self.env.tracer
+        if (tracer is not None and tracer.enabled
+                and notified is not None):
+            tracer.complete(f"uffd vpn={vpn:#x}", "uffd", notified,
+                            end=self.env.now, track="uffd", vpn=vpn, ok=ok)
 
     def is_pending(self, vpn: int) -> bool:
         return vpn in self._pending

@@ -190,6 +190,11 @@ class FaaSNode:
                 retries += 1
 
         latency = env.now - start
+        tracer = env.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.complete(f"req {arrival.function}", "node", start,
+                            end=env.now, track="node", cold=cold,
+                            status=status, retries=retries)
         return RequestResult(function=arrival.function,
                              arrival_time=arrival.time, latency=latency,
                              cold=cold, input_seed=arrival.input_seed,

@@ -138,7 +138,7 @@ class Process(Event):
     processes can wait on each other by yielding them.
     """
 
-    __slots__ = ("generator", "_target", "name")
+    __slots__ = ("generator", "_target", "name", "_started_at")
 
     def __init__(self, env: "Environment", generator: Generator,
                  name: str | None = None):
@@ -148,6 +148,7 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Event | None = None
+        self._started_at = env._now
         # Kick off at current time.
         init = Event(env)
         init.callbacks.append(self._resume)
@@ -196,10 +197,12 @@ class Process(Event):
                 target = self.generator.send(value)
         except StopIteration as stop:
             env._active_process = None
+            self._trace_lifetime(env, ok=True)
             self.succeed(stop.value, priority=URGENT)
             return
         except BaseException as exc:
             env._active_process = None
+            self._trace_lifetime(env, ok=False)
             self.fail(exc, priority=URGENT)
             return
         env._active_process = None
@@ -207,6 +210,15 @@ class Process(Event):
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded non-event {target!r}")
+        self._finish_yield(target, env)
+
+    def _trace_lifetime(self, env: "Environment", ok: bool) -> None:
+        tracer = env.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.complete(self.name, "process", self._started_at,
+                            end=env._now, track="process", ok=ok)
+
+    def _finish_yield(self, target: Event, env: "Environment") -> None:
         if target.callbacks is None:
             # Already processed: resume immediately at the current time.
             immediate = Event(env)
@@ -286,6 +298,11 @@ class Environment:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Process | None = None
+        #: Trace plane hook (duck-typed; see repro.trace).  When set and
+        #: enabled, every completed process emits a lifetime span.  The
+        #: engine never imports the trace package — same layering as the
+        #: fault plane's injector attributes.
+        self.tracer = None
 
     @property
     def now(self) -> float:

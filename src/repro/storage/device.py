@@ -11,8 +11,9 @@ is exactly the asymmetry SnapBPF's "metadata-only prefetch" design bets on.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.metrics.registry import Histogram, MetricsRegistry
 from repro.sim import Environment, Event, Resource
 from repro.units import PAGE_SIZE
 
@@ -70,28 +71,117 @@ class BlockIOError(IOError):
 IOError_ = BlockIOError
 
 
-@dataclass
 class DeviceStats:
-    """Cumulative accounting used by the benchmarks (I/O amplification)."""
+    """Cumulative accounting used by the benchmarks (I/O amplification).
 
-    requests: int = 0
-    read_requests: int = 0
-    write_requests: int = 0
-    bytes_read: int = 0
-    bytes_written: int = 0
-    sequential_requests: int = 0
-    errors: int = 0
-    transient_errors: int = 0
-    persistent_errors: int = 0
-    #: Sum of per-request wall times, queueing included (a load proxy,
-    #: not device utilization — requests overlap).
-    busy_time: float = 0.0
-    #: Per-request wall latency, submission to completion.
-    per_request_latency: list[float] = field(default_factory=list)
+    A read-compatible facade over registry metrics: every counter the old
+    dataclass exposed is still an attribute here, but the values live in
+    the machine's :class:`~repro.metrics.registry.MetricsRegistry` so the
+    harness can read all layers through one ``snapshot()``.  Per-request
+    latency is a fixed log2-bucket :class:`Histogram` (O(1) memory per
+    request instead of an unbounded list) with p50/p95/p99 accessors.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        c = registry.counter
+        self._requests = c("device_requests_total")
+        self._read_requests = c("device_read_requests_total")
+        self._write_requests = c("device_write_requests_total")
+        self._bytes_read = c("device_bytes_read_total")
+        self._bytes_written = c("device_bytes_written_total")
+        self._sequential = c("device_sequential_requests_total")
+        self._errors = c("device_errors_total")
+        self._transient_errors = c("device_transient_errors_total")
+        self._persistent_errors = c("device_persistent_errors_total")
+        self._busy_time = c("device_busy_seconds_total")
+        #: Per-request wall latency, submission to completion.
+        self.latency: Histogram = registry.histogram(
+            "device_request_latency_seconds",
+            help="per-request wall latency, queueing included")
+
+    # -- recording (called by BlockDevice only) ----------------------------
+    def record_success(self, request: IORequest, sequential: bool,
+                       duration: float) -> None:
+        self._requests.inc()
+        self._busy_time.inc(duration)
+        self.latency.observe(duration)
+        if sequential:
+            self._sequential.inc()
+        if request.op == READ:
+            self._read_requests.inc()
+            self._bytes_read.inc(request.nbytes)
+        else:
+            self._write_requests.inc()
+            self._bytes_written.inc(request.nbytes)
+
+    def record_failure(self, duration: float, transient: bool) -> None:
+        """Failed requests still occupied the device for their service
+        time: charge busy time and latency, but none of the success
+        counters (requests/bytes/sequential)."""
+        self._errors.inc()
+        (self._transient_errors if transient
+         else self._persistent_errors).inc()
+        self._busy_time.inc(duration)
+        self.latency.observe(duration)
+
+    # -- read-compatible counter views -------------------------------------
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def read_requests(self) -> int:
+        return self._read_requests.value
+
+    @property
+    def write_requests(self) -> int:
+        return self._write_requests.value
+
+    @property
+    def bytes_read(self) -> int:
+        return self._bytes_read.value
+
+    @property
+    def bytes_written(self) -> int:
+        return self._bytes_written.value
+
+    @property
+    def sequential_requests(self) -> int:
+        return self._sequential.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    @property
+    def transient_errors(self) -> int:
+        return self._transient_errors.value
+
+    @property
+    def persistent_errors(self) -> int:
+        return self._persistent_errors.value
+
+    @property
+    def busy_time(self) -> float:
+        return self._busy_time.value
 
     @property
     def bytes_total(self) -> int:
         return self.bytes_read + self.bytes_written
+
+    # -- latency percentiles (report columns) ------------------------------
+    @property
+    def p50_latency(self) -> float:
+        return self.latency.percentile(50)
+
+    @property
+    def p95_latency(self) -> float:
+        return self.latency.percentile(95)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency.percentile(99)
 
     def snapshot(self) -> dict[str, float]:
         return {
@@ -102,6 +192,15 @@ class DeviceStats:
             "errors": self.errors,
             "busy_time": self.busy_time,
         }
+
+    def reset(self) -> None:
+        """Zero this device's metrics in place (other layers untouched)."""
+        for metric in (self._requests, self._read_requests,
+                       self._write_requests, self._bytes_read,
+                       self._bytes_written, self._sequential, self._errors,
+                       self._transient_errors, self._persistent_errors,
+                       self._busy_time, self.latency):
+            metric.reset()
 
 
 class BlockDevice:
@@ -115,7 +214,8 @@ class BlockDevice:
     """
 
     def __init__(self, env: Environment, capacity_bytes: int,
-                 queue_depth: int = 32, name: str = "blk0"):
+                 queue_depth: int = 32, name: str = "blk0",
+                 registry: MetricsRegistry | None = None):
         if capacity_bytes <= 0:
             raise ValueError("device capacity must be positive")
         if queue_depth < 1:
@@ -124,7 +224,11 @@ class BlockDevice:
         self.name = name
         self.capacity_bytes = capacity_bytes
         self.queue_depth = queue_depth
-        self.stats = DeviceStats()
+        #: The machine-wide metrics registry; a standalone device (tests,
+        #: examples) gets a private one, and the Kernel adopts whichever
+        #: registry its device carries so all layers share it.
+        self.registry = registry or MetricsRegistry()
+        self.stats = DeviceStats(self.registry)
         self._slots = Resource(env, capacity=queue_depth)
         self._controller = Resource(env, capacity=1)
         self._last_end: int | None = None
@@ -184,45 +288,29 @@ class BlockDevice:
             self._slots.release(slot)
         request.complete_time = self.env.now
         duration = request.complete_time - start
-        if decision is not None and decision.error is not None:
+        failed = decision is not None and decision.error is not None
+        self._trace_request(request, start, sequential, failed)
+        if failed:
             transient = decision.error != "persistent"
-            self._account_failure(request, duration, transient)
+            self.stats.record_failure(duration, transient)
             raise BlockIOError(request, transient=transient)
-        self._account(request, sequential, duration)
+        self.stats.record_success(request, sequential, duration)
         return request
 
-    def _account(self, request: IORequest, sequential: bool,
-                 duration: float) -> None:
-        st = self.stats
-        st.requests += 1
-        st.busy_time += duration
-        st.per_request_latency.append(duration)
-        if sequential:
-            st.sequential_requests += 1
-        if request.op == READ:
-            st.read_requests += 1
-            st.bytes_read += request.nbytes
-        else:
-            st.write_requests += 1
-            st.bytes_written += request.nbytes
-
-    def _account_failure(self, request: IORequest, duration: float,
-                         transient: bool) -> None:
-        """Failed requests still occupied the device for their service
-        time: charge busy time and latency, but none of the success
-        counters (requests/bytes/sequential)."""
-        st = self.stats
-        st.errors += 1
-        if transient:
-            st.transient_errors += 1
-        else:
-            st.persistent_errors += 1
-        st.busy_time += duration
-        st.per_request_latency.append(duration)
+    def _trace_request(self, request: IORequest, start: float,
+                       sequential: bool, failed: bool) -> None:
+        tracer = self.env.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.complete(
+                f"{request.op} {request.nbytes}B", "device", start,
+                end=self.env.now, track=self.name, offset=request.offset,
+                nbytes=request.nbytes, prio=request.prio,
+                sequential=sequential, error=failed)
 
     # -- misc -----------------------------------------------------------------
     def reset_stats(self) -> None:
-        self.stats = DeviceStats()
+        """Zero the device counters in place (the stats object survives)."""
+        self.stats.reset()
 
     @property
     def pages_capacity(self) -> int:

@@ -30,8 +30,10 @@ class HDDevice(BlockDevice):
                  avg_seek_time: float = 8 * MSEC,
                  rpm: int = 7200,
                  command_overhead: float = 20 * USEC,
-                 name: str = "hdd0"):
-        super().__init__(env, capacity_bytes, queue_depth=1, name=name)
+                 name: str = "hdd0",
+                 registry=None):
+        super().__init__(env, capacity_bytes, queue_depth=1, name=name,
+                         registry=registry)
         self.transfer_bandwidth = transfer_bandwidth
         self.avg_seek_time = avg_seek_time
         # Average rotational latency = half a revolution.

@@ -33,8 +33,10 @@ class SSDevice(BlockDevice):
                  write_command_overhead: float = 25 * USEC,
                  read_media_latency: float = 85 * USEC,
                  write_media_latency: float = 220 * USEC,
-                 name: str = "ssd0"):
-        super().__init__(env, capacity_bytes, queue_depth=queue_depth, name=name)
+                 name: str = "ssd0",
+                 registry=None):
+        super().__init__(env, capacity_bytes, queue_depth=queue_depth,
+                         name=name, registry=registry)
         self.read_bandwidth = read_bandwidth
         self.write_bandwidth = write_bandwidth
         self.read_command_overhead = read_command_overhead

@@ -1,0 +1,31 @@
+"""Trace plane: span tracing over the DES + Chrome/JSONL export.
+
+Answers "where did this restore's milliseconds go?" visually: enable
+``kernel.tracer``, run a scenario, export with
+:func:`repro.trace.export.chrome_trace`, and load the file in
+``chrome://tracing`` (or Perfetto).  The ``python -m repro trace``
+subcommand packages exactly that flow.
+
+Span sources, by track:
+
+* ``process`` — every DES process lifetime (:mod:`repro.sim.engine`)
+* device tracks — per-request queueing + service (:mod:`repro.storage.device`)
+* ``cache`` — page-cache fill I/O and readahead (:mod:`repro.mm.page_cache`)
+* ``uffd`` — userfaultfd notify-to-resolve round trips
+* ``ebpf`` — each BPF program run (:mod:`repro.ebpf.interp`) and kfunc call
+* ``node`` — per-request serving spans (:mod:`repro.platform.node`)
+* per-VM tracks — restore phases and the E2E breakdown
+  (:mod:`repro.core.approach`, :mod:`repro.harness.experiment`)
+"""
+
+from repro.trace.export import chrome_trace, to_jsonl, write_chrome, write_jsonl
+from repro.trace.tracer import Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "to_jsonl",
+    "write_chrome",
+    "write_jsonl",
+]

@@ -1,0 +1,65 @@
+"""Trace exporters: JSONL (one event per line) and Chrome trace format.
+
+The Chrome format is the ``chrome://tracing`` / Perfetto JSON object
+model: ``traceEvents`` with phase-``X`` complete events, timestamps and
+durations in *microseconds*, and ``thread_name`` metadata records mapping
+each tracer track to a tid so the viewer labels the rows.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.trace.tracer import Span, Tracer
+
+#: All simulated spans share one synthetic process.
+TRACE_PID = 1
+
+
+def _span_dict(span: Span) -> dict:
+    out = {"name": span.name, "cat": span.cat, "ph": span.ph,
+           "ts": span.ts, "dur": span.dur, "track": span.track}
+    if span.args:
+        out["args"] = span.args
+    return out
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """One JSON object per line; ts/dur in (simulated) seconds."""
+    return "".join(json.dumps(_span_dict(span), sort_keys=True) + "\n"
+                   for span in tracer.events)
+
+
+def write_jsonl(tracer: Tracer, fp: IO[str]) -> None:
+    fp.write(to_jsonl(tracer))
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The trace as a ``chrome://tracing``-loadable JSON object."""
+    tids: dict[str, int] = {}
+    events: list[dict] = []
+    for span in tracer.events:
+        tid = tids.setdefault(span.track, len(tids) + 1)
+        event = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": span.ph,
+            "ts": span.ts * 1e6,
+            "pid": TRACE_PID,
+            "tid": tid,
+        }
+        if span.ph == "X":
+            event["dur"] = span.dur * 1e6
+        elif span.ph == "i":
+            event["s"] = "t"  # thread-scoped instant
+        if span.args:
+            event["args"] = span.args
+        events.append(event)
+    meta = [{"name": "thread_name", "ph": "M", "pid": TRACE_PID, "tid": tid,
+             "args": {"name": track}} for track, tid in tids.items()]
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(tracer: Tracer, fp: IO[str]) -> None:
+    json.dump(chrome_trace(tracer), fp)

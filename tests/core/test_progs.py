@@ -8,9 +8,9 @@ from repro.core.progs import (
     build_capture_program,
     build_prefetch_program,
     load_groups,
+    make_events_ringbuf,
     make_groups_map,
     make_state_map,
-    make_ws_map,
 )
 from repro.ebpf.interp import Interpreter, pack_u64
 from repro.ebpf.kfunc import KfuncRegistry
@@ -29,34 +29,45 @@ def kfuncs():
 
 class TestCaptureProgram:
     def test_passes_verification(self):
-        prog = build_capture_program(42, make_ws_map("ws"))
+        prog = build_capture_program(42, make_events_ringbuf("events"))
         Verifier(ctx_size=HOOK_CTX_SIZE).verify(prog)
 
-    def test_records_offset_with_timestamp(self):
-        ws = make_ws_map("ws")
-        prog = build_capture_program(42, ws)
+    def test_streams_offset_with_timestamp(self):
+        events = make_events_ringbuf("events")
+        prog = build_capture_program(42, events)
         clock = [1000]
         interp = Interpreter(time_ns=lambda: clock[0])
         interp.run(prog, pack_u64(42, 7))
         clock[0] = 2000
         interp.run(prog, pack_u64(42, 9))
-        assert dict(ws.items_u64()) == {7: (1000,), 9: (2000,)}
+        assert events.consume_u64s() == [(7, 1000), (9, 2000)]
 
     def test_filters_other_inodes(self):
-        ws = make_ws_map("ws")
-        prog = build_capture_program(42, ws)
+        events = make_events_ringbuf("events")
+        prog = build_capture_program(42, events)
         Interpreter().run(prog, pack_u64(41, 7))
-        assert len(ws) == 0
+        assert events.consume_u64s() == []
 
-    def test_keeps_first_access_time(self):
-        ws = make_ws_map("ws")
-        prog = build_capture_program(42, ws)
+    def test_reinsertion_emits_second_event(self):
+        # Dedup (keep FIRST access) is the consumer's job now: the
+        # in-kernel side just streams every insertion.
+        events = make_events_ringbuf("events")
+        prog = build_capture_program(42, events)
         clock = [100]
         interp = Interpreter(time_ns=lambda: clock[0])
         interp.run(prog, pack_u64(42, 7))
         clock[0] = 999
         interp.run(prog, pack_u64(42, 7))  # re-insertion after eviction
-        assert dict(ws.items_u64()) == {7: (100,)}
+        assert events.consume_u64s() == [(7, 100), (7, 999)]
+
+    def test_full_ring_drops_event_and_returns_ok(self):
+        events = make_events_ringbuf("events", max_entries=1)
+        prog = build_capture_program(42, events)
+        interp = Interpreter()
+        assert interp.run(prog, pack_u64(42, 1)).r0 == 0
+        assert interp.run(prog, pack_u64(42, 2)).r0 == 0  # dropped, no fault
+        assert events.dropped == 1
+        assert events.consume_u64s() == [(1, 0)]
 
 
 class TestPrefetchProgram:

@@ -1,0 +1,207 @@
+"""RingBufMap: reserve/commit semantics, verifier rules, interpreter."""
+
+import pytest
+
+from repro.ebpf.asm import (
+    alui,
+    assemble,
+    call,
+    exit_,
+    ldmap,
+    mov,
+    movi,
+    store,
+    storei,
+)
+from repro.ebpf.helpers import (
+    BPF_FUNC_MAP_LOOKUP_ELEM,
+    BPF_FUNC_MAP_UPDATE_ELEM,
+    BPF_FUNC_RINGBUF_OUTPUT,
+)
+from repro.ebpf.insn import R0, R1, R2, R3, R4, R10
+from repro.ebpf.interp import Interpreter
+from repro.ebpf.maps import HashMap, MapError, RingBufMap
+from repro.ebpf.verifier import VerificationError, Verifier
+
+
+class TestReserveCommit:
+    def test_committed_records_consume_in_order(self):
+        ring = RingBufMap("r", value_size=8)
+        for byte in (b"a", b"b", b"c"):
+            rec = ring.reserve()
+            rec.data[:1] = byte
+            ring.commit(rec)
+        assert [r[:1] for r in ring.consume()] == [b"a", b"b", b"c"]
+        assert ring.consume() == []
+
+    def test_consumer_stops_at_first_pending_record(self):
+        ring = RingBufMap("r", value_size=8)
+        first = ring.reserve()
+        second = ring.reserve()
+        ring.commit(second)  # committed out of reservation order
+        assert ring.consume() == []  # head still pending
+        ring.commit(first)
+        assert len(ring.consume()) == 2
+
+    def test_discarded_records_are_skipped(self):
+        ring = RingBufMap("r", value_size=8)
+        keep = ring.reserve()
+        keep.data[:1] = b"k"
+        drop = ring.reserve()
+        ring.commit(keep)
+        ring.discard(drop)
+        records = ring.consume()
+        assert len(records) == 1 and records[0][:1] == b"k"
+
+    def test_full_ring_drops_and_counts(self):
+        ring = RingBufMap("r", value_size=8, max_entries=2)
+        assert ring.reserve() is not None
+        assert ring.reserve() is not None
+        assert ring.reserve() is None
+        assert ring.dropped == 1
+
+    def test_consume_frees_capacity(self):
+        ring = RingBufMap("r", value_size=8, max_entries=1)
+        ring.commit(ring.reserve())
+        assert len(ring.consume()) == 1
+        assert ring.reserve() is not None
+
+    def test_double_commit_rejected(self):
+        ring = RingBufMap("r", value_size=8)
+        rec = ring.reserve()
+        ring.commit(rec)
+        with pytest.raises(MapError):
+            ring.commit(rec)
+        with pytest.raises(MapError):
+            ring.discard(rec)
+
+    def test_wrong_reserve_size_rejected(self):
+        ring = RingBufMap("r", value_size=8)
+        with pytest.raises(MapError):
+            ring.reserve(16)
+
+    def test_output_is_reserve_copy_commit(self):
+        ring = RingBufMap("r", value_size=8)
+        assert ring.output(b"12345678") == 0
+        assert ring.consume() == [b"12345678"]
+
+    def test_output_on_full_ring_returns_enospc(self):
+        ring = RingBufMap("r", value_size=8, max_entries=1)
+        assert ring.output(b"x" * 8) == 0
+        assert ring.output(b"y" * 8) == -1
+        assert ring.dropped == 1
+
+    def test_max_records_cap(self):
+        ring = RingBufMap("r", value_size=8)
+        for _ in range(5):
+            ring.output(b"z" * 8)
+        assert len(ring.consume(max_records=3)) == 3
+        assert len(ring.consume()) == 2
+
+    def test_no_random_access(self):
+        ring = RingBufMap("r", value_size=8)
+        with pytest.raises(MapError):
+            ring.lookup(b"")
+        with pytest.raises(MapError):
+            ring.update(b"", b"x" * 8)
+        with pytest.raises(MapError):
+            ring.delete(b"")
+        with pytest.raises(MapError):
+            ring.keys()
+
+
+def output_prog(ring, fill_bytes=8):
+    """8-byte stack record -> bpf_ringbuf_output(ring, &rec)."""
+    return assemble("rb_out", [
+        storei(R10, -8, 0xAB, width=fill_bytes),
+        ldmap(R1, "ring"),
+        mov(R2, R10), alui("add", R2, -8),
+        call(BPF_FUNC_RINGBUF_OUTPUT),
+        movi(R0, 0),
+        exit_(),
+    ], maps={"ring": ring})
+
+
+class TestVerifierRules:
+    def test_output_on_ringbuf_accepted(self):
+        Verifier().verify(output_prog(RingBufMap("ring", value_size=8)))
+
+    def test_output_on_hash_map_rejected(self):
+        prog = output_prog(HashMap("ring", key_size=8, value_size=8))
+        with pytest.raises(VerificationError, match="incompatible with hash"):
+            Verifier().verify(prog)
+
+    def test_lookup_on_ringbuf_rejected(self):
+        ring = RingBufMap("ring", value_size=8)
+        prog = assemble("rb_lookup", [
+            storei(R10, -8, 0),
+            ldmap(R1, "ring"),
+            mov(R2, R10), alui("add", R2, -8),
+            call(BPF_FUNC_MAP_LOOKUP_ELEM),
+            movi(R0, 0),
+            exit_(),
+        ], maps={"ring": ring})
+        with pytest.raises(VerificationError,
+                           match="incompatible with ringbuf"):
+            Verifier().verify(prog)
+
+    def test_update_on_ringbuf_rejected(self):
+        ring = RingBufMap("ring", value_size=8)
+        prog = assemble("rb_update", [
+            storei(R10, -8, 0),
+            storei(R10, -16, 1),
+            ldmap(R1, "ring"),
+            mov(R2, R10), alui("add", R2, -8),
+            mov(R3, R10), alui("add", R3, -16),
+            movi(R4, 0),
+            call(BPF_FUNC_MAP_UPDATE_ELEM),
+            movi(R0, 0),
+            exit_(),
+        ], maps={"ring": ring})
+        with pytest.raises(VerificationError,
+                           match="incompatible with ringbuf"):
+            Verifier().verify(prog)
+
+    def test_uninitialized_record_buffer_rejected(self):
+        # Only 4 of the 8 record bytes are written before the call.
+        prog = output_prog(RingBufMap("ring", value_size=8), fill_bytes=4)
+        with pytest.raises(VerificationError, match="uninitialized"):
+            Verifier().verify(prog)
+
+    def test_out_of_bounds_record_buffer_rejected(self):
+        ring = RingBufMap("ring", value_size=8)
+        prog = assemble("rb_oob", [
+            storei(R10, -8, 0),
+            ldmap(R1, "ring"),
+            mov(R2, R10), alui("add", R2, -4),  # only 4 bytes above
+            call(BPF_FUNC_RINGBUF_OUTPUT),
+            movi(R0, 0),
+            exit_(),
+        ], maps={"ring": ring})
+        with pytest.raises(VerificationError):
+            Verifier().verify(prog)
+
+
+class TestInterpreter:
+    def test_program_output_reaches_consumer(self):
+        ring = RingBufMap("ring", value_size=8)
+        prog = output_prog(ring)
+        Verifier().verify(prog)
+        Interpreter().run(prog)
+        assert ring.consume_u64s() == [(0xAB,)]
+
+    def test_helper_returns_error_when_full(self):
+        ring = RingBufMap("ring", value_size=8, max_entries=1)
+        prog = assemble("rb_ret", [
+            storei(R10, -8, 1),
+            ldmap(R1, "ring"),
+            mov(R2, R10), alui("add", R2, -8),
+            call(BPF_FUNC_RINGBUF_OUTPUT),
+            mov(R0, R0),  # keep helper result as exit code
+            exit_(),
+        ], maps={"ring": ring})
+        Verifier().verify(prog)
+        interp = Interpreter()
+        assert interp.run(prog).r0 == 0
+        assert interp.run(prog).r0 == (-1) & ((1 << 64) - 1)
+        assert ring.dropped == 1

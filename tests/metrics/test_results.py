@@ -31,6 +31,28 @@ def test_str_is_informative():
     assert "bert" in text and "snapbpf" in text
 
 
+def test_empty_result_reports_zero_not_crash():
+    """A scenario with no invocations (all requests failed before any
+    sandbox completed) must summarize to 0.0, not raise."""
+    result = ScenarioResult(function="f", approach="a", n_instances=0)
+    assert result.e2e_latencies == []
+    assert result.mean_e2e == 0.0
+    assert result.max_e2e == 0.0
+    assert result.p50_e2e == 0.0
+    assert result.p99_e2e == 0.0
+    assert "f/a" in str(result)
+
+
+def test_e2e_percentiles_nearest_rank():
+    latencies = tuple(float(i) for i in range(1, 101))  # 1..100
+    result = make_result(latencies=latencies)
+    assert result.p50_e2e == 50.0
+    assert result.p95_e2e == 95.0
+    assert result.p99_e2e == 99.0
+    single = make_result(latencies=(7.0,))
+    assert single.p50_e2e == single.p99_e2e == 7.0
+
+
 def test_summarize_pivots_by_function_and_approach():
     table = summarize([
         make_result("f1", "a1", (1.0,)),

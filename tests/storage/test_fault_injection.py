@@ -67,8 +67,8 @@ def test_failed_request_charges_busy_time(kernel, faults):
     assert stats.bytes_read == 0
     assert stats.errors == 1
     assert stats.busy_time > 0.0
-    assert len(stats.per_request_latency) == 1
-    assert stats.per_request_latency[0] > 0.0
+    assert stats.latency.count == 1
+    assert stats.latency.sum > 0.0
 
 
 def test_persistent_error_poisons_extent(kernel, faults):

@@ -1,0 +1,116 @@
+"""Tracer unit behaviour + JSONL / Chrome export formats."""
+
+import json
+
+from repro.trace import Tracer, chrome_trace, to_jsonl
+
+
+def make_tracer():
+    tracer = Tracer()
+    tracer.enable()
+    return tracer
+
+
+class TestTracer:
+    def test_disabled_by_default_and_free(self):
+        tracer = Tracer()
+        tracer.complete("x", "cat", 0.0, dur=1.0)
+        tracer.instant("y", "cat", 0.5)
+        assert len(tracer) == 0
+
+    def test_complete_with_end_or_dur(self):
+        tracer = make_tracer()
+        tracer.complete("a", "cat", 1.0, end=3.0)
+        tracer.complete("b", "cat", 1.0, dur=0.5)
+        spans = tracer.events
+        assert spans[0].dur == 2.0
+        assert spans[1].dur == 0.5
+
+    def test_span_queries(self):
+        tracer = make_tracer()
+        tracer.complete("a", "x", 0.0, dur=1.0)
+        tracer.complete("b", "y", 0.0, dur=1.0)
+        tracer.complete("a", "y", 0.0, dur=1.0)
+        assert len(tracer.spans(cat="y")) == 2
+        assert len(tracer.spans(name="a")) == 2
+        assert len(tracer.spans(cat="y", name="a")) == 1
+
+    def test_category_totals(self):
+        tracer = make_tracer()
+        tracer.complete("a", "io", 0.0, dur=1.0)
+        tracer.complete("b", "io", 0.0, dur=2.0)
+        tracer.complete("c", "cpu", 0.0, dur=4.0)
+        assert tracer.category_totals() == {"io": 3.0, "cpu": 4.0}
+
+    def test_max_events_drops_and_counts(self):
+        tracer = Tracer(max_events=2)
+        tracer.enable()
+        for i in range(5):
+            tracer.complete(f"s{i}", "cat", float(i), dur=1.0)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_clear(self):
+        tracer = make_tracer()
+        tracer.complete("a", "cat", 0.0, dur=1.0)
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+    def test_args_recorded(self):
+        tracer = make_tracer()
+        tracer.complete("a", "cat", 0.0, dur=1.0, offset=42, ok=True)
+        assert tracer.events[0].args == {"offset": 42, "ok": True}
+
+
+class TestJsonlExport:
+    def test_one_json_object_per_line(self):
+        tracer = make_tracer()
+        tracer.complete("a", "cat", 0.25, dur=0.5, track="t1", k=1)
+        tracer.instant("b", "cat", 1.0)
+        lines = to_jsonl(tracer).splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"name": "a", "cat": "cat", "ph": "X", "ts": 0.25,
+                         "dur": 0.5, "track": "t1", "args": {"k": 1}}
+        assert json.loads(lines[1])["ph"] == "i"
+
+
+class TestChromeExport:
+    def test_structure_and_microseconds(self):
+        tracer = make_tracer()
+        tracer.complete("a", "cat", 0.001, dur=0.002, track="dev")
+        doc = chrome_trace(tracer)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert meta[0]["args"]["name"] == "dev"
+        assert spans[0]["ts"] == 1000.0  # 1 ms in us
+        assert spans[0]["dur"] == 2000.0
+        assert spans[0]["pid"] == meta[0]["pid"]
+
+    def test_tracks_map_to_distinct_tids(self):
+        tracer = make_tracer()
+        tracer.complete("a", "cat", 0.0, dur=1.0, track="t1")
+        tracer.complete("b", "cat", 0.0, dur=1.0, track="t2")
+        tracer.complete("c", "cat", 0.0, dur=1.0, track="t1")
+        doc = chrome_trace(tracer)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert spans[0]["tid"] == spans[2]["tid"]
+        assert spans[0]["tid"] != spans[1]["tid"]
+        names = {e["tid"]: e["args"]["name"]
+                 for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert names[spans[1]["tid"]] == "t2"
+
+    def test_instants_are_thread_scoped(self):
+        tracer = make_tracer()
+        tracer.instant("mark", "cat", 0.5)
+        doc = chrome_trace(tracer)
+        instant = [e for e in doc["traceEvents"] if e["ph"] == "i"][0]
+        assert instant["s"] == "t"
+        assert "dur" not in instant
+
+    def test_serializable(self):
+        tracer = make_tracer()
+        tracer.complete("a", "cat", 0.0, dur=1.0, nested={"x": 1})
+        json.dumps(chrome_trace(tracer))
