@@ -11,6 +11,11 @@ be checked against a fresh run.
 
 Environment knobs:
   REPRO_BENCH_FUNCTIONS=json,bert   subset the 13 functions (quick runs)
+  REPRO_BENCH_JOBS=4                pre-sweep the figure matrix across N
+                                    worker processes (results identical)
+  REPRO_BENCH_CACHE_DIR=.sweep-cache  persist scenario results on disk;
+                                    warm reruns simulate nothing
+  REPRO_BENCH_NO_CACHE=1            ignore the cache dir for this run
 """
 
 from __future__ import annotations
@@ -21,6 +26,8 @@ import pathlib
 import pytest
 
 from repro.harness.experiment import ResultCache
+from repro.harness.figures import matrix_specs
+from repro.harness.sweep import ResultStore, SweepRunner
 from repro.workloads.profile import FUNCTIONS
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
@@ -36,7 +43,19 @@ def selected_functions():
 
 @pytest.fixture(scope="session")
 def cache() -> ResultCache:
-    return ResultCache()
+    store = None
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    if cache_dir and not os.environ.get("REPRO_BENCH_NO_CACHE"):
+        store = ResultStore(cache_dir)
+    cache = ResultCache(store=store)
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+    if jobs > 1:
+        # Pre-sweep the whole figure matrix in parallel; the benchmarks
+        # then read every cell straight out of the warm cache.
+        runner = SweepRunner(cache, jobs=jobs)
+        runner.run(matrix_specs(functions=selected_functions()))
+        print(runner.last_stats.summary())
+    return cache
 
 
 @pytest.fixture(scope="session")

@@ -17,6 +17,7 @@ import dataclasses
 
 from repro.harness.experiment import run_scenario
 from repro.harness.report import render_table
+from repro.harness.spec import ScenarioSpec
 from repro.mm.costs import CostModel
 from repro.workloads.profile import profile_by_name
 
@@ -38,12 +39,14 @@ def test_cost_sensitivity(benchmark, record):
         out = {}
         base = CostModel()
         for factor in (1.0, 10.0):
-            out[("bpf", factor)] = run_scenario(
-                profile, "snapbpf", costs=scale_bpf_costs(base, factor))
+            out[("bpf", factor)] = run_scenario(ScenarioSpec(
+                function=profile, approach="snapbpf",
+                costs=scale_bpf_costs(base, factor)))
         for approach in ("snapbpf", "reap"):
             for factor in (1.0, 4.0):
-                out[(approach, factor)] = run_scenario(
-                    profile, approach, costs=base.scaled(factor))
+                out[(approach, factor)] = run_scenario(ScenarioSpec(
+                    function=profile, approach=approach,
+                    costs=base.scaled(factor)))
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -11,6 +11,7 @@ worst-case memory.
 
 from repro.harness.experiment import run_scenario
 from repro.harness.report import render_table
+from repro.harness.spec import ScenarioSpec
 from repro.workloads.profile import profile_by_name
 
 FUNCTION = "rnn"
@@ -23,11 +24,12 @@ def test_varying_inputs_dedup(benchmark, record):
     def run():
         out = {}
         for approach in ("snapbpf", "reap"):
-            out[(approach, "identical")] = run_scenario(
-                profile, approach, n_instances=INSTANCES)
-            out[(approach, "varying")] = run_scenario(
-                profile, approach, n_instances=INSTANCES,
-                vary_inputs=True)
+            out[(approach, "identical")] = run_scenario(ScenarioSpec(
+                function=profile, approach=approach,
+                n_instances=INSTANCES))
+            out[(approach, "varying")] = run_scenario(ScenarioSpec(
+                function=profile, approach=approach,
+                n_instances=INSTANCES, vary_inputs=True))
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -30,8 +30,10 @@ from repro.baselines import FaaSnap, Faast, LinuxNoRA, LinuxRA, REAP
 from repro.baselines.base import Approach, approach_registry
 from repro.core import PVPTEsOnly, SnapBPF
 from repro.faults import FaultConfig, FaultSchedule, RetryPolicy
-from repro.harness.chaos import run_chaos_scenario
+from repro.harness.chaos import run_chaos_scenario, run_chaos_suite
 from repro.harness.experiment import ResultCache, make_kernel, run_scenario
+from repro.harness.spec import ScenarioSpec
+from repro.harness.sweep import ResultStore, SweepRunner
 from repro.metrics.results import ScenarioResult
 from repro.mm.kernel import Kernel
 from repro.platform import FaaSNode, poisson_arrivals
@@ -67,9 +69,12 @@ __all__ = [
     "PVPTEsOnly",
     "REAP",
     "ResultCache",
+    "ResultStore",
     "RetryPolicy",
     "ScenarioResult",
+    "ScenarioSpec",
     "SnapBPF",
+    "SweepRunner",
     "approach_registry",
     "build_snapshot",
     "generate_trace",
@@ -77,6 +82,7 @@ __all__ = [
     "poisson_arrivals",
     "profile_by_name",
     "run_chaos_scenario",
+    "run_chaos_suite",
     "run_scenario",
     "__version__",
 ]

@@ -4,17 +4,24 @@ Commands:
   list                         the 13 evaluated functions and 7 approaches
   run FN APPROACH [-n N]       one scenario, printed as a one-line report
   table1                       regenerate the paper's Table 1
-  fig {3a,3b,3c,4,overheads}   regenerate one figure (optionally subset
-                               functions with --functions json,bert)
+  fig {3a,3b,3c,4,overheads}   regenerate one figure (or --all), sweeping
+                               the scenario matrix across --jobs workers
   chaos FN [APPROACH ...]      serve a request train under a seeded fault
                                schedule; report degradation counters
   trace FN APPROACH            run one scenario with span tracing on and
                                write a chrome://tracing-loadable JSON
                                (plus optional JSONL)
 
+``run``, ``fig``, and ``chaos`` share the sweep flags: ``--jobs N``
+fans independent scenario cells out over N worker processes (results
+are byte-identical for every N), ``--cache-dir DIR`` persists finished
+cells in a content-addressed store so warm reruns execute zero
+simulations, and ``--no-cache`` ignores the store for one invocation.
+
 Examples:
   python -m repro run bert snapbpf -n 10
   python -m repro fig 3c --functions bfs,bert
+  python -m repro fig --all --jobs 4 --cache-dir .sweep-cache
   python -m repro chaos json snapbpf linux-ra --fault-seed 7
   python -m repro trace json snapbpf -o restore.json --jsonl spans.jsonl
 """
@@ -27,9 +34,11 @@ import sys
 from repro import GIB, MIB, FUNCTIONS, approach_registry, profile_by_name, run_scenario
 from repro.faults import FaultConfig
 from repro.harness import figures as F
-from repro.harness.chaos import DEFAULT_CHAOS, render_chaos, run_chaos_scenario
+from repro.harness.chaos import DEFAULT_CHAOS, render_chaos, run_chaos_suite
 from repro.harness.experiment import ResultCache
 from repro.harness.report import render_figure, render_table1
+from repro.harness.spec import ScenarioSpec
+from repro.harness.sweep import ResultStore, SweepRunner
 
 
 def cmd_list(_args) -> int:
@@ -45,15 +54,29 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _make_store(args) -> ResultStore | None:
+    """The shared --cache-dir/--no-cache flags, resolved to a store."""
+    if not getattr(args, "cache_dir", None) or args.no_cache:
+        return None
+    return ResultStore(args.cache_dir)
+
+
 def cmd_run(args) -> int:
     try:
         profile = profile_by_name(args.function)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    result = run_scenario(profile, args.approach, n_instances=args.instances,
-                          vary_inputs=args.vary_inputs,
-                          device_kind=args.device)
+    spec = ScenarioSpec(function=profile, approach=args.approach,
+                        n_instances=args.instances,
+                        vary_inputs=args.vary_inputs,
+                        device_kind=args.device)
+    cache = ResultCache(store=_make_store(args))
+    result = cache.get(spec)
+    if cache.store is not None:
+        origin = "hit" if cache.disk_hits else "simulated, stored"
+        print(f"cache: {origin} ({spec.stable_hash()[:12]})",
+              file=sys.stderr)
     print(f"{profile.name}/{args.approach} x{args.instances} "
           f"[{args.device}]:")
     print(f"  mean E2E      {result.mean_e2e * 1e3:10.1f} ms "
@@ -77,11 +100,21 @@ def cmd_table1(_args) -> int:
 
 
 def cmd_fig(args) -> int:
+    if args.all:
+        figures = list(F.FIGURES)
+    elif args.figure:
+        figures = [args.figure]
+    else:
+        print("error: name a figure or pass --all", file=sys.stderr)
+        return 2
     functions = args.functions.split(",") if args.functions else None
-    cache = ResultCache()
-    builder = {"3a": F.figure_3a, "3b": F.figure_3b, "3c": F.figure_3c,
-               "4": F.figure_4, "overheads": F.overheads}[args.figure]
-    print(render_figure(builder(cache, functions=functions)))
+    cache = ResultCache(store=_make_store(args))
+    runner = SweepRunner(cache, jobs=args.jobs)
+    runner.run(F.matrix_specs(figures, functions))
+    for figure in figures:
+        print(render_figure(F.build_figure(figure, cache,
+                                           functions=functions)))
+    print(runner.last_stats.summary(), file=sys.stderr)
     return 0
 
 
@@ -115,12 +148,12 @@ def cmd_chaos(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    results = [run_chaos_scenario(profile, name, config=config,
-                                  fault_seed=args.fault_seed,
-                                  n_requests=args.requests,
-                                  request_deadline=args.deadline,
-                                  device_kind=args.device)
-               for name in approaches]
+    results = run_chaos_suite(profile, approaches, config=config,
+                              fault_seed=args.fault_seed,
+                              n_requests=args.requests,
+                              request_deadline=args.deadline,
+                              device_kind=args.device,
+                              jobs=args.jobs, store=_make_store(args))
     print(render_chaos(results))
     return 0
 
@@ -163,9 +196,24 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro", description="SnapBPF reproduction harness")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Sweep flags shared by run/fig/chaos (same semantics everywhere).
+    sweep_flags = argparse.ArgumentParser(add_help=False)
+    sweep_flags.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for independent scenario cells "
+             "(any value yields byte-identical results)")
+    sweep_flags.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist finished cells in a content-addressed store; "
+             "warm reruns execute zero simulations")
+    sweep_flags.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir for this invocation")
+
     sub.add_parser("list", help="list functions and approaches")
 
-    run_parser = sub.add_parser("run", help="run one scenario")
+    run_parser = sub.add_parser("run", help="run one scenario",
+                                parents=[sweep_flags])
     run_parser.add_argument("function")
     run_parser.add_argument("approach",
                             choices=sorted(approach_registry()))
@@ -177,14 +225,18 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("table1", help="regenerate Table 1")
 
-    fig_parser = sub.add_parser("fig", help="regenerate a figure")
-    fig_parser.add_argument("figure",
-                            choices=("3a", "3b", "3c", "4", "overheads"))
+    fig_parser = sub.add_parser("fig", help="regenerate figures",
+                                parents=[sweep_flags])
+    fig_parser.add_argument("figure", nargs="?", default=None,
+                            choices=F.FIGURES)
+    fig_parser.add_argument("--all", action="store_true",
+                            help="regenerate every figure in one sweep")
     fig_parser.add_argument("--functions", default="",
                             help="comma-separated subset of functions")
 
     chaos_parser = sub.add_parser(
-        "chaos", help="serve requests under a seeded fault schedule")
+        "chaos", help="serve requests under a seeded fault schedule",
+        parents=[sweep_flags])
     chaos_parser.add_argument("function")
     chaos_parser.add_argument("approaches", nargs="*",
                               metavar="approach",

@@ -16,14 +16,15 @@ tests (and CI) assert.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.faults import FaultConfig, FaultSchedule
 from repro.harness.experiment import make_kernel
 from repro.harness.report import render_table
+from repro.harness.spec import stable_hash, SCHEMA_VERSION
 from repro.mm.costs import CostModel
-from repro.platform.node import FaaSNode, NodeReport
-from repro.platform.workload import Arrival
+from repro.platform.node import FaaSNode, NodeReport, RequestResult
+from repro.platform.workload import Arrival, MemorySample
 from repro.workloads.profile import FunctionProfile
 
 #: The standard chaos mix: 1 % transient media errors, a few latency
@@ -83,6 +84,46 @@ class ChaosResult:
             sorted(self.approach_counters.items()),
         ))
 
+    # -- serialization (the sweep store's "chaos" kind) ---------------------
+    def to_dict(self) -> dict:
+        return {
+            "approach": self.approach,
+            "function": self.function,
+            "fault_seed": self.fault_seed,
+            "report": {
+                "results": [asdict(r) for r in self.report.results],
+                "memory_timeline": [asdict(s)
+                                    for s in self.report.memory_timeline],
+                "peak_memory_bytes": self.report.peak_memory_bytes,
+            },
+            "fault_stats": dict(self.fault_stats),
+            "device_errors": self.device_errors,
+            "cache_io_retries": self.cache_io_retries,
+            "cache_io_failures": self.cache_io_failures,
+            "approach_counters": dict(self.approach_counters),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosResult":
+        report = NodeReport(
+            results=[RequestResult(**r)
+                     for r in data["report"]["results"]],
+            memory_timeline=[MemorySample(**s)
+                             for s in data["report"]["memory_timeline"]],
+            peak_memory_bytes=data["report"]["peak_memory_bytes"],
+        )
+        return cls(
+            approach=data["approach"],
+            function=data["function"],
+            fault_seed=data["fault_seed"],
+            report=report,
+            fault_stats=dict(data["fault_stats"]),
+            device_errors=data["device_errors"],
+            cache_io_retries=data["cache_io_retries"],
+            cache_io_failures=data["cache_io_failures"],
+            approach_counters=dict(data["approach_counters"]),
+        )
+
 
 def fixed_interval_arrivals(profile: FunctionProfile, n_requests: int,
                             interval: float,
@@ -133,6 +174,88 @@ def run_chaos_scenario(profile: FunctionProfile,
         cache_io_failures=kernel.page_cache.stats.io_failures,
         approach_counters=counters,
     )
+
+
+def chaos_key(profile: FunctionProfile, approach: str,
+              config: FaultConfig = DEFAULT_CHAOS,
+              fault_seed: int = 0, n_requests: int = 8,
+              interval: float = 0.25,
+              warm_pool_ttl: float | None = None,
+              request_deadline: float | None = None,
+              device_kind: str = "ssd",
+              costs: CostModel | None = None) -> str:
+    """Content address of one chaos run — every argument that determines
+    the outcome, hashed under the shared schema version (the on-disk
+    sweep store files chaos entries by this key)."""
+    return stable_hash({
+        "schema": SCHEMA_VERSION,
+        "kind": "chaos",
+        "spec": {
+            "function": asdict(profile),
+            "approach": approach,
+            "config": asdict(config),
+            "fault_seed": fault_seed,
+            "n_requests": n_requests,
+            "interval": interval,
+            "warm_pool_ttl": warm_pool_ttl,
+            "request_deadline": request_deadline,
+            "device_kind": device_kind,
+            "costs": asdict(costs) if costs is not None else None,
+        },
+    })
+
+
+def _chaos_cell(args: tuple) -> ChaosResult:
+    """Worker entrypoint for the parallel chaos suite (one approach)."""
+    profile, approach, config, fault_seed, n_requests, interval, \
+        warm_pool_ttl, request_deadline, device_kind, costs = args
+    return run_chaos_scenario(
+        profile, approach, config=config, fault_seed=fault_seed,
+        n_requests=n_requests, interval=interval,
+        warm_pool_ttl=warm_pool_ttl, request_deadline=request_deadline,
+        device_kind=device_kind, costs=costs)
+
+
+def run_chaos_suite(profile: FunctionProfile, approaches: list[str],
+                    config: FaultConfig = DEFAULT_CHAOS,
+                    fault_seed: int = 0, n_requests: int = 8,
+                    interval: float = 0.25,
+                    warm_pool_ttl: float | None = None,
+                    request_deadline: float | None = None,
+                    device_kind: str = "ssd",
+                    costs: CostModel | None = None,
+                    jobs: int = 1, store=None) -> list[ChaosResult]:
+    """One chaos run per approach, optionally across worker processes.
+
+    Each cell is an independent pure function of its arguments (a fresh
+    kernel, its own seeded schedule), so any job count yields the exact
+    serial fingerprints.  With a ``store``
+    (:class:`~repro.harness.sweep.ResultStore`), finished cells persist
+    under :func:`chaos_key` and warm reruns replay from disk.
+    """
+    from repro.harness.sweep import parallel_map
+
+    keys = [chaos_key(profile, name, config, fault_seed, n_requests,
+                      interval, warm_pool_ttl, request_deadline,
+                      device_kind, costs) for name in approaches]
+    results: dict[int, ChaosResult] = {}
+    if store is not None:
+        for i, key in enumerate(keys):
+            payload = store.load(key, kind="chaos")
+            if payload is not None:
+                try:
+                    results[i] = ChaosResult.from_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    pass
+    missing = [i for i in range(len(approaches)) if i not in results]
+    cells = [(profile, approaches[i], config, fault_seed, n_requests,
+              interval, warm_pool_ttl, request_deadline, device_kind,
+              costs) for i in missing]
+    for i, result in zip(missing, parallel_map(_chaos_cell, cells, jobs)):
+        results[i] = result
+        if store is not None:
+            store.save(keys[i], result.to_dict(), kind="chaos")
+    return [results[i] for i in range(len(approaches))]
 
 
 def chaos_rows(results: list[ChaosResult]) -> list[list[str]]:

@@ -9,9 +9,12 @@ inputs) and measure per-sandbox E2E latency and system-wide peak memory.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 from repro.baselines.base import Approach, approach_registry
+from repro.harness.spec import ScenarioSpec
+from repro.metrics.registry import MetricsRegistry
 from repro.metrics.results import ScenarioResult
 from repro.mm.costs import CostModel
 from repro.mm.kernel import Kernel
@@ -36,21 +39,54 @@ def make_kernel(device_kind: str = "ssd", ram_bytes: int = 256 * GIB,
     return Kernel(env=env, device=device, ram_bytes=ram_bytes, costs=costs)
 
 
-def run_scenario(profile: FunctionProfile,
-                 approach_factory: Callable[[Kernel], Approach] | str,
+def run_scenario(spec: ScenarioSpec | FunctionProfile,
+                 approach_factory: Callable[[Kernel], Approach] | str
+                 | None = None,
                  n_instances: int = 1,
                  input_seed: int = 0,
                  vary_inputs: bool = False,
                  device_kind: str = "ssd",
                  costs: CostModel | None = None,
                  kernel: Kernel | None = None) -> ScenarioResult:
-    """Run one (function, approach, concurrency) scenario; see module doc.
+    """Run one scenario described by a :class:`ScenarioSpec`.
+
+    ``run_scenario(spec)`` is the canonical entrypoint; the legacy
+    ``run_scenario(profile, approach, n_instances=..., ...)`` form is a
+    deprecated shim kept for existing callers (it is also the only way
+    to pass an approach *factory* instead of a registry name, since a
+    callable cannot be hashed into a spec).
 
     ``vary_inputs=True`` gives every concurrent instance a *different*
     input (trace seed), instead of the paper's identical-inputs setup —
     the varying-inputs deduplication study the paper leaves to future
     work.  The record phase always uses ``input_seed``.
     """
+    if isinstance(spec, ScenarioSpec):
+        if approach_factory is not None:
+            raise TypeError("pass either a ScenarioSpec or the legacy "
+                            "(profile, approach) pair, not both")
+        return _run_scenario(spec.function, spec.approach,
+                             spec.n_instances, spec.input_seed,
+                             spec.vary_inputs, spec.device_kind,
+                             spec.costs, kernel)
+    warnings.warn(
+        "run_scenario(profile, approach, ...) is deprecated; pass a "
+        "ScenarioSpec (repro.harness.spec) instead",
+        DeprecationWarning, stacklevel=2)
+    if approach_factory is None:
+        raise TypeError("run_scenario(profile, ...) requires an approach")
+    return _run_scenario(spec, approach_factory, n_instances, input_seed,
+                         vary_inputs, device_kind, costs, kernel)
+
+
+def _run_scenario(profile: FunctionProfile,
+                  approach_factory: Callable[[Kernel], Approach] | str,
+                  n_instances: int,
+                  input_seed: int,
+                  vary_inputs: bool,
+                  device_kind: str,
+                  costs: CostModel | None,
+                  kernel: Kernel | None) -> ScenarioResult:
     if isinstance(approach_factory, str):
         approach_factory = approach_registry()[approach_factory]
     kernel = kernel or make_kernel(device_kind, costs=costs)
@@ -157,21 +193,106 @@ def _collect_extras(approach: Approach, result: ScenarioResult) -> None:
 
 class ResultCache:
     """Memoizes scenario runs across figure builders (3b and 3c share
-    every run, for instance)."""
+    every run, for instance), keyed by :class:`ScenarioSpec`.
 
-    def __init__(self) -> None:
-        self._cache: dict[tuple, ScenarioResult] = {}
+    Keying on the full spec fixes the historic collision where the key
+    omitted ``costs`` and ``vary_inputs``: a cost-model ablation and the
+    baseline run now occupy distinct entries.  An optional on-disk
+    ``store`` (see :class:`repro.harness.sweep.ResultStore`) shares the
+    same spec hash, so the in-memory and persistent caches can never
+    disagree about identity.
 
-    def get(self, profile: FunctionProfile, approach_name: str,
+    Hit/miss/execution counts are exported through a
+    :class:`~repro.metrics.registry.MetricsRegistry` (``sweep_*``
+    counters) — the sweep engine and CLI read throughput and hit ratio
+    from there.
+    """
+
+    def __init__(self, store=None,
+                 registry: MetricsRegistry | None = None) -> None:
+        self._cache: dict[ScenarioSpec, ScenarioResult] = {}
+        self.store = store
+        self.metrics = registry or MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "sweep_cache_requests_total", "scenario lookups")
+        self._hits_memory = self.metrics.counter(
+            "sweep_cache_hits_memory_total", "lookups served from memory")
+        self._hits_disk = self.metrics.counter(
+            "sweep_cache_hits_disk_total", "lookups served from the store")
+        self._executed = self.metrics.counter(
+            "sweep_scenarios_executed_total", "scenarios actually simulated")
+
+    # -- counters (read by the sweep engine and tests) ----------------------
+    @property
+    def memory_hits(self) -> int:
+        return int(self._hits_memory.value)
+
+    @property
+    def disk_hits(self) -> int:
+        return int(self._hits_disk.value)
+
+    @property
+    def executed(self) -> int:
+        return int(self._executed.value)
+
+    # -- cache protocol -----------------------------------------------------
+    def lookup(self, spec: ScenarioSpec) -> ScenarioResult | None:
+        """Memory-then-store lookup; never executes a scenario."""
+        result = self._cache.get(spec)
+        if result is not None:
+            self._hits_memory.inc()
+            return result
+        if self.store is not None:
+            result = self.store.load_scenario(spec)
+            if result is not None:
+                self._hits_disk.inc()
+                self._cache[spec] = result
+                return result
+        return None
+
+    def insert(self, spec: ScenarioSpec, result: ScenarioResult,
+               persist: bool = True) -> None:
+        self._cache[spec] = result
+        if persist and self.store is not None:
+            self.store.save_scenario(spec, result)
+
+    def record_execution(self, spec: ScenarioSpec,
+                         result: ScenarioResult) -> None:
+        """Insert a freshly simulated result, counting the execution
+        (the sweep engine runs scenarios out-of-band, in workers)."""
+        self._executed.inc()
+        self.insert(spec, result)
+
+    def get(self, spec: ScenarioSpec | FunctionProfile,
+            approach_name: str | None = None,
             n_instances: int = 1, input_seed: int = 0,
-            device_kind: str = "ssd") -> ScenarioResult:
-        key = (profile.name, approach_name, n_instances, input_seed,
-               device_kind)
-        if key not in self._cache:
-            self._cache[key] = run_scenario(
-                profile, approach_name, n_instances=n_instances,
-                input_seed=input_seed, device_kind=device_kind)
-        return self._cache[key]
+            device_kind: str = "ssd", vary_inputs: bool = False,
+            costs: CostModel | None = None) -> ScenarioResult:
+        """Cached scenario run.  Canonical form: ``cache.get(spec)``;
+        the legacy ``cache.get(profile, approach, ...)`` form builds the
+        spec for the caller."""
+        if not isinstance(spec, ScenarioSpec):
+            if approach_name is None:
+                raise TypeError("cache.get(profile, ...) requires an "
+                                "approach name")
+            spec = ScenarioSpec(
+                function=spec, approach=approach_name,
+                n_instances=n_instances, input_seed=input_seed,
+                vary_inputs=vary_inputs, device_kind=device_kind,
+                costs=costs)
+        elif approach_name is not None:
+            raise TypeError("pass either a ScenarioSpec or the legacy "
+                            "(profile, approach) pair, not both")
+        self._requests.inc()
+        result = self.lookup(spec)
+        if result is None:
+            result = run_scenario(spec)
+            self._executed.inc()
+            self.insert(spec, result)
+        return result
 
     def __len__(self) -> int:
         return len(self._cache)
+
+    def __contains__(self, spec: ScenarioSpec) -> bool:
+        return spec in self._cache

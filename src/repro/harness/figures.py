@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.baselines.base import approach_registry
 from repro.harness.experiment import ResultCache
+from repro.harness.spec import ScenarioSpec
 from repro.units import GIB
 from repro.workloads.profile import FUNCTIONS, FunctionProfile
 
@@ -22,6 +23,42 @@ import repro.core  # noqa: F401
 
 #: Number of concurrent instances in the Figure 3b/3c experiments.
 CONCURRENT_INSTANCES = 10
+
+#: The scenario matrix behind each figure: (approaches, n_instances).
+#: The builders below iterate these same tuples, so enumerating a
+#: figure's specs (for a parallel sweep) and building it can never
+#: disagree about which cells exist.
+FIGURE_MATRIX: dict[str, tuple[tuple[str, ...], int]] = {
+    "3a": (("reap", "faasnap", "snapbpf"), 1),
+    "3b": (("linux-nora", "linux-ra", "reap", "snapbpf"),
+           CONCURRENT_INSTANCES),
+    "3c": (("linux-nora", "linux-ra", "reap", "snapbpf"),
+           CONCURRENT_INSTANCES),
+    "4": (("linux-ra", "pv-ptes", "snapbpf"), 1),
+    "overheads": (("snapbpf",), 1),
+}
+
+FIGURES: tuple[str, ...] = tuple(FIGURE_MATRIX)
+
+
+def figure_specs(figure: str, functions=None) -> list[ScenarioSpec]:
+    """Every scenario cell one figure needs, as sweepable specs."""
+    approaches, n_instances = FIGURE_MATRIX[figure]
+    return [ScenarioSpec(function=p, approach=a, n_instances=n_instances)
+            for p in _profiles(functions) for a in approaches]
+
+
+def matrix_specs(figures=None, functions=None) -> list[ScenarioSpec]:
+    """The union of several figures' cells, deduplicated in first-seen
+    order (3b and 3c share every run, 3a and 4 share snapbpf x1)."""
+    specs: list[ScenarioSpec] = []
+    seen: set[ScenarioSpec] = set()
+    for figure in (figures if figures is not None else FIGURES):
+        for spec in figure_specs(figure, functions):
+            if spec not in seen:
+                seen.add(spec)
+                specs.append(spec)
+    return specs
 
 
 @dataclass
@@ -61,9 +98,11 @@ def figure_3a(cache: ResultCache | None = None,
     profiles = _profiles(functions)
     data = FigureData(figure="3a", ylabel="E2E latency (s)",
                       functions=[p.name for p in profiles])
-    for approach in ("reap", "faasnap", "snapbpf"):
+    approaches, n_instances = FIGURE_MATRIX["3a"]
+    for approach in approaches:
         data.series[approach] = [
-            cache.get(p, approach, n_instances=1).mean_e2e for p in profiles]
+            cache.get(p, approach, n_instances=n_instances).mean_e2e
+            for p in profiles]
     return data
 
 
@@ -73,8 +112,8 @@ def figure_3b(cache: ResultCache | None = None, functions=None,
     Linux-NoRA: Linux-NoRA / Linux-RA / REAP / SnapBPF."""
     cache = cache or ResultCache()
     profiles = _profiles(functions)
-    approaches = ("linux-nora", "linux-ra", "reap", "snapbpf")
-    raw = {a: [cache.get(p, a, n_instances=CONCURRENT_INSTANCES).mean_e2e
+    approaches, n_instances = FIGURE_MATRIX["3b"]
+    raw = {a: [cache.get(p, a, n_instances=n_instances).mean_e2e
                for p in profiles] for a in approaches}
     data = FigureData(
         figure="3b",
@@ -101,10 +140,11 @@ def figure_3c(cache: ResultCache | None = None, functions=None) -> FigureData:
         figure="3c", ylabel="Memory consumption (GiB)",
         functions=[p.name for p in profiles],
         notes=f"{CONCURRENT_INSTANCES} concurrent instances")
-    for approach in ("linux-nora", "linux-ra", "reap", "snapbpf"):
+    approaches, n_instances = FIGURE_MATRIX["3c"]
+    for approach in approaches:
         data.series[approach] = [
             cache.get(p, approach,
-                      n_instances=CONCURRENT_INSTANCES).peak_memory_bytes / GIB
+                      n_instances=n_instances).peak_memory_bytes / GIB
             for p in profiles]
     return data
 
@@ -114,9 +154,9 @@ def figure_4(cache: ResultCache | None = None, functions=None) -> FigureData:
     PV PTE marking alone, and full SnapBPF (PV + eBPF prefetch)."""
     cache = cache or ResultCache()
     profiles = _profiles(functions)
-    approaches = ("linux-ra", "pv-ptes", "snapbpf")
-    raw = {a: [cache.get(p, a, n_instances=1).mean_e2e for p in profiles]
-           for a in approaches}
+    approaches, n_instances = FIGURE_MATRIX["4"]
+    raw = {a: [cache.get(p, a, n_instances=n_instances).mean_e2e
+               for p in profiles] for a in approaches}
     data = FigureData(
         figure="4", ylabel="Normalized E2E latency (Linux-RA = 1.0)",
         functions=[p.name for p in profiles],
@@ -146,6 +186,22 @@ def overheads(cache: ResultCache | None = None, functions=None) -> FigureData:
     data.series["map_load_ms"] = load_ms
     data.series["fraction_of_e2e"] = frac
     return data
+
+
+#: Builder function per figure name (shared by the CLI and benchmarks).
+FIGURE_BUILDERS = {
+    "3a": figure_3a,
+    "3b": figure_3b,
+    "3c": figure_3c,
+    "4": figure_4,
+    "overheads": overheads,
+}
+
+
+def build_figure(figure: str, cache: ResultCache | None = None,
+                 functions=None) -> FigureData:
+    """Build one figure by name against a (possibly pre-warmed) cache."""
+    return FIGURE_BUILDERS[figure](cache, functions=functions)
 
 
 def table_1() -> list[dict[str, str]]:

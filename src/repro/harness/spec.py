@@ -1,0 +1,120 @@
+"""`ScenarioSpec` — the canonical, hashable description of one scenario.
+
+One spec names everything that determines a scenario's outcome: the full
+:class:`~repro.workloads.profile.FunctionProfile` (not just its name, so
+a re-calibrated profile invalidates cached results), the approach
+registry name, the concurrency level, the input seed, the
+identical-vs-varying inputs switch, the device kind, and the optional
+:class:`~repro.mm.costs.CostModel` override.  Because the simulation is
+a pure function of these fields, a spec is also a *cache key*: two equal
+specs always produce byte-identical :class:`ScenarioResult`\\ s, whatever
+process or job count ran them.
+
+``stable_hash()`` content-addresses the spec: a SHA-256 over the
+canonical JSON form plus :data:`SCHEMA_VERSION`.  Bumping the schema
+version (any change to spec or result serialization) therefore orphans
+every old on-disk entry instead of deserializing it wrongly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from repro.mm.costs import CostModel
+from repro.workloads.profile import FunctionProfile, profile_by_name
+
+#: Version tag baked into every spec hash and on-disk store entry.  Bump
+#: whenever the spec fields, result serialization, or simulation
+#: semantics change in a way that invalidates cached results.
+SCHEMA_VERSION = 1
+
+_DEVICE_KINDS = ("ssd", "hdd")
+
+
+def stable_hash(payload) -> str:
+    """SHA-256 hex digest of a JSON-serializable payload, with sorted
+    keys and compact separators so the digest is canonical."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything that determines one scenario run (and its cache key)."""
+
+    function: FunctionProfile
+    approach: str
+    n_instances: int = 1
+    input_seed: int = 0
+    vary_inputs: bool = False
+    device_kind: str = "ssd"
+    costs: CostModel | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.function, str):
+            object.__setattr__(self, "function",
+                               profile_by_name(self.function))
+        if not isinstance(self.function, FunctionProfile):
+            raise TypeError(f"function must be a FunctionProfile or name, "
+                            f"got {type(self.function).__name__}")
+        if not isinstance(self.approach, str):
+            raise TypeError("approach must be a registry name (str); "
+                            "factories cannot be hashed or serialized")
+        if self.device_kind not in _DEVICE_KINDS:
+            raise ValueError(f"unknown device kind {self.device_kind!r}")
+        if self.n_instances < 1:
+            raise ValueError(f"n_instances must be >= 1, "
+                             f"got {self.n_instances}")
+        if self.costs is not None and not isinstance(self.costs, CostModel):
+            raise TypeError("costs must be a CostModel or None")
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def function_name(self) -> str:
+        return self.function.name
+
+    def canonical(self) -> dict:
+        """JSON-serializable dict with every outcome-determining field."""
+        return {
+            "function": asdict(self.function),
+            "approach": self.approach,
+            "n_instances": self.n_instances,
+            "input_seed": self.input_seed,
+            "vary_inputs": self.vary_inputs,
+            "device_kind": self.device_kind,
+            "costs": asdict(self.costs) if self.costs is not None else None,
+        }
+
+    def stable_hash(self) -> str:
+        """Content address: stable across processes and sessions."""
+        return stable_hash({"schema": SCHEMA_VERSION,
+                            "spec": self.canonical()})
+
+    def seed_material(self) -> int:
+        """Deterministic per-spec seed for worker-process RNG hygiene."""
+        return int(self.stable_hash()[:16], 16)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        costs = data.get("costs")
+        return cls(
+            function=FunctionProfile(**data["function"]),
+            approach=data["approach"],
+            n_instances=data["n_instances"],
+            input_seed=data["input_seed"],
+            vary_inputs=data["vary_inputs"],
+            device_kind=data["device_kind"],
+            costs=CostModel(**costs) if costs is not None else None,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        extras = []
+        if self.vary_inputs:
+            extras.append("vary-inputs")
+        if self.costs is not None:
+            extras.append("custom-costs")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        return (f"{self.function_name}/{self.approach} "
+                f"x{self.n_instances} [{self.device_kind}]{suffix}")

@@ -1,0 +1,225 @@
+"""Parallel sweep engine with a content-addressed on-disk result store.
+
+The paper's evaluation is a matrix of (function x approach x concurrency
+x device) cold-start scenarios.  Every cell is an independent pure
+function of its :class:`~repro.harness.spec.ScenarioSpec` — each run
+builds a fresh simulated host from seeded RNGs — so the matrix can be
+executed across a ``ProcessPoolExecutor`` with *any* job count and still
+produce byte-identical figures, and a finished cell can be persisted and
+replayed forever.
+
+Two pieces:
+
+* :class:`ResultStore` — one JSON file per spec under a cache directory,
+  named by ``spec.stable_hash()`` (which bakes in
+  :data:`~repro.harness.spec.SCHEMA_VERSION`); entries with a different
+  schema tag, kind, or unparsable payload read as misses, never as
+  wrong answers.
+* :class:`SweepRunner` — deduplicates a spec list, resolves what it can
+  from a :class:`~repro.harness.experiment.ResultCache` (memory, then
+  store), executes the misses serially or across worker processes, and
+  reports a :class:`SweepStats`.  Progress and throughput are exported
+  through the cache's metrics registry (``sweep_*`` counters and
+  gauges), not ad-hoc prints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.harness.experiment import ResultCache, run_scenario
+from repro.harness.spec import SCHEMA_VERSION, ScenarioSpec
+from repro.metrics.results import ScenarioResult
+
+
+class ResultStore:
+    """Content-addressed on-disk JSON store, one file per entry.
+
+    Keys are content hashes (``ScenarioSpec.stable_hash()`` or any other
+    :func:`~repro.harness.spec.stable_hash` digest); each file carries
+    the schema version and a ``kind`` tag.  Loads are defensive: a
+    missing file, a schema/kind mismatch, or a corrupt payload is a
+    *miss* — the scenario simply re-runs — never an exception or a stale
+    answer.  Writes are atomic (temp file + ``os.replace``) so a killed
+    sweep cannot leave a torn entry behind.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- generic payloads ---------------------------------------------------
+    def load(self, key: str, kind: str) -> dict | None:
+        try:
+            with open(self.path(key)) as fp:
+                entry = json.load(fp)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("schema") != SCHEMA_VERSION or entry.get("kind") != kind:
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def save(self, key: str, payload: dict, kind: str,
+             spec: dict | None = None) -> None:
+        entry = {"schema": SCHEMA_VERSION, "kind": kind, "key": key,
+                 "spec": spec, "payload": payload}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fp:
+                json.dump(entry, fp, sort_keys=True)
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- scenario results ---------------------------------------------------
+    def load_scenario(self, spec: ScenarioSpec) -> ScenarioResult | None:
+        payload = self.load(spec.stable_hash(), kind="scenario")
+        if payload is None:
+            return None
+        try:
+            return ScenarioResult.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def save_scenario(self, spec: ScenarioSpec,
+                      result: ScenarioResult) -> None:
+        self.save(spec.stable_hash(), result.to_dict(), kind="scenario",
+                  spec=spec.canonical())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+def execute_spec(spec: ScenarioSpec) -> ScenarioResult:
+    """Worker entrypoint: run one scenario, deterministically seeded.
+
+    The simulation derives every random choice from the spec already;
+    re-seeding the global RNG from the spec hash is hygiene that keeps a
+    stray ``random.random()`` anywhere in the stack from making results
+    depend on execution order or worker identity.
+    """
+    random.seed(spec.seed_material())
+    return run_scenario(spec)
+
+
+def parallel_map(fn: Callable, items: Sequence, jobs: int) -> list:
+    """``[fn(item) for item in items]``, across ``jobs`` processes when
+    ``jobs > 1`` (order-preserving, as ``executor.map`` guarantees)."""
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+@dataclass
+class SweepStats:
+    """One sweep's accounting: where every requested cell came from."""
+
+    requested: int = 0
+    unique: int = 0
+    executed: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        return 1.0 - self.executed / self.unique if self.unique else 0.0
+
+    @property
+    def scenarios_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.unique / self.elapsed_seconds
+
+    def summary(self) -> str:
+        """One stable line for logs and CI greps."""
+        return (f"sweep: requested={self.requested} unique={self.unique} "
+                f"executed={self.executed} memory_hits={self.memory_hits} "
+                f"disk_hits={self.disk_hits} "
+                f"hit_ratio={self.hit_ratio:.2f} "
+                f"rate={self.scenarios_per_second:.2f}/s "
+                f"elapsed={self.elapsed_seconds:.2f}s")
+
+
+class SweepRunner:
+    """Executes a batch of scenario specs, fanning misses out to worker
+    processes and landing every result in the shared cache/store."""
+
+    def __init__(self, cache: ResultCache | None = None,
+                 jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.cache = cache if cache is not None else ResultCache()
+        self.jobs = jobs
+        registry = self.cache.metrics
+        self._runs = registry.counter("sweep_runs_total", "sweep batches")
+        self._rate = registry.gauge(
+            "sweep_scenarios_per_second", "last sweep's throughput")
+        self._ratio = registry.gauge(
+            "sweep_hit_ratio", "last sweep's cache-hit ratio")
+        self.last_stats: SweepStats | None = None
+
+    def run(self, specs: Iterable[ScenarioSpec]
+            ) -> dict[ScenarioSpec, ScenarioResult]:
+        """Resolve every spec (cache, store, or fresh execution) and
+        return ``{spec: result}`` covering the deduplicated batch."""
+        started = time.monotonic()
+        stats = SweepStats()
+        ordered: list[ScenarioSpec] = []
+        seen: set[ScenarioSpec] = set()
+        for spec in specs:
+            stats.requested += 1
+            if spec not in seen:
+                seen.add(spec)
+                ordered.append(spec)
+        stats.unique = len(ordered)
+
+        # lookup() classifies each hit into the registry counters;
+        # diff them across the loop rather than re-deriving the split.
+        memory_before = self.cache.memory_hits
+        disk_before = self.cache.disk_hits
+        results: dict[ScenarioSpec, ScenarioResult] = {}
+        missing: list[ScenarioSpec] = []
+        for spec in ordered:
+            cached = self.cache.lookup(spec)
+            if cached is not None:
+                results[spec] = cached
+            else:
+                missing.append(spec)
+        stats.memory_hits = self.cache.memory_hits - memory_before
+        stats.disk_hits = self.cache.disk_hits - disk_before
+
+        for spec, result in zip(missing,
+                                parallel_map(execute_spec, missing,
+                                             self.jobs)):
+            results[spec] = result
+            self.cache.record_execution(spec, result)
+
+        stats.executed = len(missing)
+        stats.elapsed_seconds = time.monotonic() - started
+
+        self._runs.inc()
+        self._rate.set(stats.scenarios_per_second)
+        self._ratio.set(stats.hit_ratio)
+        self.last_stats = stats
+        return results

@@ -9,8 +9,9 @@ analyses.
 
 from __future__ import annotations
 
+import json
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 from repro.units import GIB
 
@@ -87,6 +88,32 @@ class ScenarioResult:
     @property
     def peak_memory_gib(self) -> float:
         return self.peak_memory_bytes / GIB
+
+    # -- serialization ------------------------------------------------------
+    # The on-disk sweep store (repro.harness.sweep) depends on this
+    # round-trip being *exact*: JSON preserves finite floats via repr, so
+    # ``from_json(to_json(r)) == r`` field-for-field, and warm-cache
+    # figure tables are byte-identical to cold ones.
+    def to_dict(self) -> dict:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["invocations"] = [asdict(inv) for inv in self.invocations]
+        out["extra"] = dict(self.extra)
+        out["metrics"] = dict(self.metrics)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioResult":
+        data = dict(data)
+        data["invocations"] = [InvocationStats(**inv)
+                               for inv in data["invocations"]]
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioResult":
+        return cls.from_dict(json.loads(text))
 
     def __str__(self) -> str:  # pragma: no cover - display helper
         return (f"{self.function}/{self.approach} x{self.n_instances}: "

@@ -5,11 +5,15 @@ import pytest
 from repro.faults import FaultConfig
 from repro.harness.chaos import (
     DEFAULT_CHAOS,
+    ChaosResult,
+    chaos_key,
     chaos_rows,
     fixed_interval_arrivals,
     render_chaos,
     run_chaos_scenario,
+    run_chaos_suite,
 )
+from repro.harness.sweep import ResultStore
 from repro.units import MIB
 from repro.workloads.profile import FunctionProfile
 
@@ -76,6 +80,54 @@ def test_record_phase_runs_clean(profile):
     assert result.report.completed == 2
     assert all(v == 0 for v in result.fault_stats.values())
     assert result.approach_counters == {}
+
+
+def test_parallel_suite_matches_serial_fingerprints(profile):
+    """Each chaos cell is independent, so any job count reproduces the
+    serial fingerprints exactly."""
+    approaches = ["snapbpf", "linux-ra", "reap"]
+    serial = run_chaos_suite(profile, approaches, config=HOT,
+                             fault_seed=5, n_requests=3, jobs=1)
+    parallel = run_chaos_suite(profile, approaches, config=HOT,
+                               fault_seed=5, n_requests=3, jobs=2)
+    assert [r.approach for r in parallel] == [r.approach for r in serial]
+    assert ([r.fingerprint() for r in parallel]
+            == [r.fingerprint() for r in serial])
+
+
+def test_chaos_result_round_trip(profile):
+    result = run_chaos_scenario(profile, "snapbpf", config=HOT,
+                                fault_seed=5, n_requests=3)
+    replayed = ChaosResult.from_dict(result.to_dict())
+    assert replayed.fingerprint() == result.fingerprint()
+    assert replayed.report.memory_timeline == result.report.memory_timeline
+
+
+def test_chaos_suite_replays_from_store(tmp_path, profile, monkeypatch):
+    store = ResultStore(tmp_path)
+    cold = run_chaos_suite(profile, ["snapbpf"], config=HOT,
+                           fault_seed=5, n_requests=3, store=store)
+    assert len(store) == 1
+
+    # A warm rerun must come purely from disk: poison the execution path.
+    import repro.harness.chaos as chaos_mod
+
+    def explode(args):
+        raise AssertionError("warm suite must not simulate")
+
+    monkeypatch.setattr(chaos_mod, "_chaos_cell", explode)
+    warm = run_chaos_suite(profile, ["snapbpf"], config=HOT,
+                           fault_seed=5, n_requests=3, store=store)
+    assert warm[0].fingerprint() == cold[0].fingerprint()
+
+
+def test_chaos_key_covers_fault_config(profile):
+    base = chaos_key(profile, "snapbpf", config=HOT, fault_seed=5)
+    assert base == chaos_key(profile, "snapbpf", config=HOT, fault_seed=5)
+    assert base != chaos_key(profile, "snapbpf", config=DEFAULT_CHAOS,
+                             fault_seed=5)
+    assert base != chaos_key(profile, "snapbpf", config=HOT, fault_seed=6)
+    assert base != chaos_key(profile, "reap", config=HOT, fault_seed=5)
 
 
 def test_render_chaos_table(profile):

@@ -41,6 +41,58 @@ def test_fig_with_subset(capsys):
     assert "Figure 4" in out and "json" in out
 
 
+def test_fig_requires_figure_or_all(capsys):
+    assert main(["fig"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_fig_reports_sweep_stats(capsys):
+    assert main(["fig", "4", "--functions", "json"]) == 0
+    captured = capsys.readouterr()
+    assert "Figure 4" in captured.out
+    assert "sweep: requested=3 unique=3 executed=3" in captured.err
+
+
+def test_fig_parallel_warm_cache(tmp_path, capsys):
+    """The acceptance loop: --jobs N is byte-identical to serial, and a
+    warm-cache rerun executes zero simulations."""
+    args = ["fig", "4", "--functions", "json",
+            "--cache-dir", str(tmp_path), "--jobs", "2"]
+    assert main(args) == 0
+    cold = capsys.readouterr()
+    assert "executed=3" in cold.err
+
+    assert main(args) == 0
+    warm = capsys.readouterr()
+    assert "executed=0" in warm.err
+    assert "disk_hits=3" in warm.err
+    assert warm.out == cold.out, "warm tables must be byte-identical"
+
+    assert main(["fig", "4", "--functions", "json"]) == 0
+    fresh = capsys.readouterr()
+    assert fresh.out == cold.out, "parallel must match serial"
+
+
+def test_fig_no_cache_ignores_store(tmp_path, capsys):
+    args = ["fig", "4", "--functions", "json",
+            "--cache-dir", str(tmp_path), "--no-cache"]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert list(tmp_path.glob("*.json")) == []
+
+
+def test_run_with_cache_dir(tmp_path, capsys):
+    args = ["run", "json", "linux-nora", "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    first = capsys.readouterr()
+    assert "cache: simulated, stored" in first.err
+
+    assert main(args) == 0
+    second = capsys.readouterr()
+    assert "cache: hit" in second.err
+    assert second.out == first.out
+
+
 def test_bad_approach_rejected():
     with pytest.raises(SystemExit):
         main(["run", "json", "warpdrive"])
@@ -60,6 +112,25 @@ def test_chaos_attach_failure_override(capsys):
                  "--attach-failure-rate", "1.0"]) == 0
     out = capsys.readouterr().out
     assert "prefetch_fallbacks=2" in out
+
+
+def test_chaos_parallel_matches_serial(capsys):
+    args = ["chaos", "json", "linux-nora", "snapbpf", "-n", "2",
+            "--fault-seed", "4"]
+    assert main(args) == 0
+    serial = capsys.readouterr().out
+    assert main(args + ["--jobs", "2"]) == 0
+    assert capsys.readouterr().out == serial
+
+
+def test_chaos_warm_cache(tmp_path, capsys):
+    args = ["chaos", "json", "linux-nora", "-n", "2",
+            "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert len(list(tmp_path.glob("*.json"))) == 1
+    assert main(args) == 0
+    assert capsys.readouterr().out == cold
 
 
 def test_chaos_unknown_function(capsys):

@@ -1,0 +1,87 @@
+"""ScenarioSpec: coercion, hashing, serialization, and the shim."""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.experiment import run_scenario
+from repro.harness.spec import SCHEMA_VERSION, ScenarioSpec, stable_hash
+from repro.mm.costs import CostModel
+from repro.workloads.profile import profile_by_name
+
+
+def test_function_name_coerced_to_profile():
+    spec = ScenarioSpec(function="json", approach="snapbpf")
+    assert spec.function is profile_by_name("json")
+    assert spec.function_name == "json"
+
+
+def test_specs_are_hashable_dict_keys(tiny_profile):
+    a = ScenarioSpec(function=tiny_profile, approach="snapbpf")
+    b = ScenarioSpec(function=tiny_profile, approach="snapbpf")
+    assert a == b and hash(a) == hash(b)
+    assert len({a: 1, b: 2}) == 1
+
+
+def test_stable_hash_is_content_addressed(tiny_profile):
+    base = ScenarioSpec(function=tiny_profile, approach="snapbpf")
+    assert base.stable_hash() == ScenarioSpec(
+        function=tiny_profile, approach="snapbpf").stable_hash()
+    assert len(base.stable_hash()) == 64
+    variants = [
+        dataclasses.replace(base, approach="reap"),
+        dataclasses.replace(base, n_instances=2),
+        dataclasses.replace(base, input_seed=1),
+        dataclasses.replace(base, vary_inputs=True),
+        dataclasses.replace(base, device_kind="hdd"),
+        dataclasses.replace(base, costs=CostModel().scaled(2.0)),
+        dataclasses.replace(base, function=profile_by_name("json")),
+    ]
+    hashes = {base.stable_hash()} | {v.stable_hash() for v in variants}
+    assert len(hashes) == len(variants) + 1, "every field must key the hash"
+
+
+def test_hash_covers_schema_version(tiny_profile):
+    spec = ScenarioSpec(function=tiny_profile, approach="snapbpf")
+    assert spec.stable_hash() == stable_hash(
+        {"schema": SCHEMA_VERSION, "spec": spec.canonical()})
+    assert spec.stable_hash() != stable_hash(
+        {"schema": SCHEMA_VERSION + 1, "spec": spec.canonical()})
+
+
+def test_canonical_round_trip(tiny_profile):
+    spec = ScenarioSpec(function=tiny_profile, approach="reap",
+                        n_instances=3, input_seed=7, vary_inputs=True,
+                        device_kind="hdd", costs=CostModel().scaled(4.0))
+    assert ScenarioSpec.from_dict(spec.canonical()) == spec
+
+
+def test_invalid_specs_rejected(tiny_profile):
+    with pytest.raises(ValueError):
+        ScenarioSpec(function=tiny_profile, approach="snapbpf",
+                     device_kind="floppy")
+    with pytest.raises(ValueError):
+        ScenarioSpec(function=tiny_profile, approach="snapbpf",
+                     n_instances=0)
+    with pytest.raises(TypeError):
+        ScenarioSpec(function=tiny_profile, approach=lambda k: None)
+    with pytest.raises(TypeError):
+        ScenarioSpec(function=tiny_profile, approach="snapbpf",
+                     costs="cheap")
+
+
+def test_run_scenario_spec_is_canonical(tiny_profile):
+    spec = ScenarioSpec(function=tiny_profile, approach="snapbpf",
+                        n_instances=2)
+    via_spec = run_scenario(spec)
+    with pytest.warns(DeprecationWarning):
+        via_kwargs = run_scenario(tiny_profile, "snapbpf", n_instances=2)
+    assert via_spec == via_kwargs
+
+
+def test_run_scenario_rejects_mixed_forms(tiny_profile):
+    spec = ScenarioSpec(function=tiny_profile, approach="snapbpf")
+    with pytest.raises(TypeError):
+        run_scenario(spec, "snapbpf")
+    with pytest.raises(TypeError):
+        run_scenario(tiny_profile)

@@ -1,0 +1,175 @@
+"""Sweep engine: disk store, parallel determinism, warm-cache replays."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.harness.experiment import ResultCache, run_scenario
+from repro.harness.figures import figure_3a, figure_specs, matrix_specs
+from repro.harness.report import render_figure
+from repro.harness.spec import SCHEMA_VERSION, ScenarioSpec
+from repro.harness.sweep import ResultStore, SweepRunner, execute_spec
+from repro.mm.costs import CostModel
+
+
+@pytest.fixture
+def spec(tiny_profile) -> ScenarioSpec:
+    return ScenarioSpec(function=tiny_profile, approach="linux-nora")
+
+
+# -- ResultStore ------------------------------------------------------------
+
+def test_store_round_trip(tmp_path, spec):
+    store = ResultStore(tmp_path)
+    result = run_scenario(spec)
+    store.save_scenario(spec, result)
+    assert len(store) == 1
+    assert store.load_scenario(spec) == result
+
+
+def test_store_misses_on_absent_and_corrupt_entries(tmp_path, spec):
+    store = ResultStore(tmp_path)
+    assert store.load_scenario(spec) is None
+    store.path(spec.stable_hash()).write_text("{not json")
+    assert store.load_scenario(spec) is None
+
+
+def test_store_rejects_schema_and_kind_mismatch(tmp_path, spec):
+    store = ResultStore(tmp_path)
+    result = run_scenario(spec)
+    store.save_scenario(spec, result)
+    path = store.path(spec.stable_hash())
+
+    entry = json.loads(path.read_text())
+    entry["schema"] = -1
+    path.write_text(json.dumps(entry))
+    assert store.load_scenario(spec) is None, "old schema must be a miss"
+
+    entry["schema"] = SCHEMA_VERSION
+    entry["kind"] = "chaos"
+    path.write_text(json.dumps(entry))
+    assert store.load_scenario(spec) is None, "wrong kind must be a miss"
+
+
+# -- ResultCache on spec hashing -------------------------------------------
+
+def test_cache_get_accepts_spec_and_legacy_forms(tiny_profile):
+    cache = ResultCache()
+    spec = ScenarioSpec(function=tiny_profile, approach="linux-nora",
+                        n_instances=2)
+    a = cache.get(spec)
+    b = cache.get(tiny_profile, "linux-nora", n_instances=2)
+    assert a is b
+    assert len(cache) == 1 and cache.executed == 1
+
+
+def test_cache_distinguishes_cost_models(tiny_profile):
+    """Regression: the old tuple key omitted ``costs`` (and
+    ``vary_inputs``), so a cost-model ablation silently reused the
+    baseline's result."""
+    cache = ResultCache()
+    base = cache.get(tiny_profile, "snapbpf")
+    scaled = cache.get(tiny_profile, "snapbpf",
+                       costs=CostModel().scaled(8.0))
+    assert len(cache) == 2
+    assert base is not scaled
+    assert scaled.mean_e2e > base.mean_e2e
+
+
+def test_cache_distinguishes_vary_inputs(tiny_profile):
+    cache = ResultCache()
+    cache.get(tiny_profile, "snapbpf", n_instances=4)
+    cache.get(tiny_profile, "snapbpf", n_instances=4, vary_inputs=True)
+    assert len(cache) == 2
+
+
+def test_cache_reads_through_store(tmp_path, spec):
+    cold = ResultCache(store=ResultStore(tmp_path))
+    result = cold.get(spec)
+    assert cold.executed == 1
+
+    warm = ResultCache(store=ResultStore(tmp_path))
+    replayed = warm.get(spec)
+    assert warm.executed == 0 and warm.disk_hits == 1
+    assert replayed == result
+
+
+# -- SweepRunner ------------------------------------------------------------
+
+def test_parallel_sweep_matches_serial_byte_for_byte(tiny_profile):
+    functions = [tiny_profile]
+    serial_cache = ResultCache()
+    SweepRunner(serial_cache, jobs=1).run(
+        figure_specs("3a", functions=functions))
+    serial = render_figure(figure_3a(serial_cache, functions=functions))
+
+    parallel_cache = ResultCache()
+    runner = SweepRunner(parallel_cache, jobs=3)
+    runner.run(figure_specs("3a", functions=functions))
+    parallel = render_figure(figure_3a(parallel_cache, functions=functions))
+
+    assert parallel == serial
+    assert runner.last_stats.executed == 3  # reap/faasnap/snapbpf
+
+
+def test_warm_sweep_executes_nothing(tmp_path, tiny_profile):
+    specs = figure_specs("3a", functions=[tiny_profile])
+    cold = SweepRunner(ResultCache(store=ResultStore(tmp_path)), jobs=2)
+    cold_results = cold.run(specs)
+    assert cold.last_stats.executed == len(specs)
+
+    warm = SweepRunner(ResultCache(store=ResultStore(tmp_path)), jobs=2)
+    warm_results = warm.run(specs)
+    stats = warm.last_stats
+    assert stats.executed == 0, "warm rerun must simulate nothing"
+    assert stats.disk_hits == len(specs)
+    assert stats.hit_ratio == 1.0
+    assert warm_results == cold_results
+
+
+def test_sweep_deduplicates_requests(tiny_profile):
+    spec = ScenarioSpec(function=tiny_profile, approach="linux-nora")
+    runner = SweepRunner(ResultCache())
+    runner.run([spec, spec, dataclasses.replace(spec, n_instances=2)])
+    stats = runner.last_stats
+    assert stats.requested == 3 and stats.unique == 2
+    assert stats.executed == 2
+
+
+def test_sweep_counters_in_metrics_registry(tiny_profile):
+    cache = ResultCache()
+    runner = SweepRunner(cache)
+    runner.run([ScenarioSpec(function=tiny_profile, approach="linux-nora")])
+    snapshot = cache.metrics.snapshot()
+    assert snapshot["sweep_scenarios_executed_total"] == 1
+    assert snapshot["sweep_runs_total"] == 1
+    assert snapshot["sweep_hit_ratio"] == 0.0
+
+
+def test_execute_spec_is_deterministic(spec):
+    assert execute_spec(spec) == execute_spec(spec)
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(ValueError):
+        SweepRunner(jobs=0)
+
+
+# -- figure matrix enumeration ---------------------------------------------
+
+def test_matrix_specs_dedupe_across_figures(tiny_profile):
+    functions = [tiny_profile]
+    specs_3b = figure_specs("3b", functions)
+    specs_3c = figure_specs("3c", functions)
+    assert specs_3b == specs_3c  # 3b and 3c share every run
+    union = matrix_specs(["3b", "3c"], functions)
+    assert union == specs_3b
+
+
+def test_matrix_specs_cover_all_figures(tiny_profile):
+    specs = matrix_specs(functions=[tiny_profile])
+    approaches = {s.approach for s in specs}
+    assert approaches == {"linux-nora", "linux-ra", "reap", "faasnap",
+                          "pv-ptes", "snapbpf"}
+    assert len(specs) == len(set(specs))
