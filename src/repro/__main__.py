@@ -3,9 +3,15 @@
 Commands:
   list                         the 13 evaluated functions and 7 approaches
   run FN APPROACH [-n N]       one scenario, printed as a one-line report
+                               (--ram-gib sizes the frame pool and turns
+                               on watermark reclaim; --evict-policy
+                               attaches a BPF eviction policy)
   table1                       regenerate the paper's Table 1
-  fig {3a,3b,3c,4,overheads}   regenerate one figure (or --all), sweeping
-                               the scenario matrix across --jobs workers
+  fig {3a,3b,3c,4,overheads,mem}
+                               regenerate one figure (or --all), sweeping
+                               the scenario matrix across --jobs workers;
+                               "mem" is the memory-pressure elasticity
+                               figure
   chaos FN [APPROACH ...]      serve a request train under a seeded fault
                                schedule; report degradation counters
   trace FN APPROACH            run one scenario with span tracing on and
@@ -20,7 +26,9 @@ simulations, and ``--no-cache`` ignores the store for one invocation.
 
 Examples:
   python -m repro run bert snapbpf -n 10
+  python -m repro run json snapbpf -n 10 --ram-gib 0.25 --evict-policy protect-head
   python -m repro fig 3c --functions bfs,bert
+  python -m repro fig mem --functions json
   python -m repro fig --all --jobs 4 --cache-dir .sweep-cache
   python -m repro chaos json snapbpf linux-ra --fault-seed 7
   python -m repro trace json snapbpf -o restore.json --jsonl spans.jsonl
@@ -29,10 +37,11 @@ Examples:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro import GIB, MIB, FUNCTIONS, approach_registry, profile_by_name, run_scenario
-from repro.faults import FaultConfig
+from repro.core.policies import policy_names
 from repro.harness import figures as F
 from repro.harness.chaos import DEFAULT_CHAOS, render_chaos, run_chaos_suite
 from repro.harness.experiment import ResultCache
@@ -70,9 +79,18 @@ def cmd_run(args) -> int:
     spec = ScenarioSpec(function=profile, approach=args.approach,
                         n_instances=args.instances,
                         vary_inputs=args.vary_inputs,
-                        device_kind=args.device)
+                        device_kind=args.device,
+                        ram_bytes=(int(args.ram_gib * GIB)
+                                   if args.ram_gib else None),
+                        evict_policy=args.evict_policy)
     cache = ResultCache(store=_make_store(args))
-    result = cache.get(spec)
+    try:
+        result = cache.get(spec)
+    except MemoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: the frame pool cannot hold the scenario's pinned "
+              "anonymous footprint; raise --ram-gib", file=sys.stderr)
+        return 1
     if cache.store is not None:
         origin = "hit" if cache.disk_hits else "simulated, stored"
         print(f"cache: {origin} ({spec.stable_hash()[:12]})",
@@ -131,20 +149,17 @@ def cmd_chaos(args) -> int:
             print(f"error: unknown approach {name!r}; choose from {known}",
                   file=sys.stderr)
             return 2
+    overrides = {}
+    if args.media_error_rate is not None:
+        overrides["media_error_rate"] = args.media_error_rate
+    if args.attach_failure_rate:
+        overrides["attach_failure_rate"] = args.attach_failure_rate
+    if args.reclaim_stall_rate:
+        overrides["reclaim_stall_rate"] = args.reclaim_stall_rate
     config = DEFAULT_CHAOS
-    if args.attach_failure_rate or args.media_error_rate is not None:
+    if overrides:
         try:
-            config = FaultConfig(
-                media_error_rate=(DEFAULT_CHAOS.media_error_rate
-                                  if args.media_error_rate is None
-                                  else args.media_error_rate),
-                persistent_fraction=DEFAULT_CHAOS.persistent_fraction,
-                latency_spike_rate=DEFAULT_CHAOS.latency_spike_rate,
-                latency_spike_multiplier=(
-                    DEFAULT_CHAOS.latency_spike_multiplier),
-                torn_page_rate=DEFAULT_CHAOS.torn_page_rate,
-                attach_failure_rate=args.attach_failure_rate,
-            )
+            config = dataclasses.replace(DEFAULT_CHAOS, **overrides)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -153,6 +168,8 @@ def cmd_chaos(args) -> int:
                               n_requests=args.requests,
                               request_deadline=args.deadline,
                               device_kind=args.device,
+                              ram_bytes=(int(args.ram_gib * GIB)
+                                         if args.ram_gib else None),
                               jobs=args.jobs, store=_make_store(args))
     print(render_chaos(results))
     return 0
@@ -222,6 +239,13 @@ def main(argv: list[str] | None = None) -> int:
                             default="ssd")
     run_parser.add_argument("--vary-inputs", action="store_true",
                             help="give each instance a different input")
+    run_parser.add_argument(
+        "--ram-gib", type=float, default=None, metavar="GIB",
+        help="frame-pool size in GiB; enables watermarks + kswapd "
+             "(default: 256 GiB pool, pressure plane off)")
+    run_parser.add_argument(
+        "--evict-policy", choices=policy_names(), default=None,
+        help="attach a named BPF eviction policy to the reclaim hook")
 
     sub.add_parser("table1", help="regenerate Table 1")
 
@@ -249,6 +273,12 @@ def main(argv: list[str] | None = None) -> int:
                               help="override the default 1%% media error rate")
     chaos_parser.add_argument("--attach-failure-rate", type=float, default=0.0,
                               help="probability each BPF attach fails")
+    chaos_parser.add_argument(
+        "--reclaim-stall-rate", type=float, default=0.0,
+        help="probability each kswapd wakeup stalls before scanning")
+    chaos_parser.add_argument(
+        "--ram-gib", type=float, default=None, metavar="GIB",
+        help="frame-pool size in GiB; enables watermarks + kswapd")
     chaos_parser.add_argument("--device", choices=("ssd", "hdd"),
                               default="ssd")
 

@@ -19,6 +19,7 @@ failure Figures 3b/3c quantify.
 from __future__ import annotations
 
 from repro.baselines.base import Approach, register_approach
+from repro.mm.frames import OutOfMemory
 from repro.mm.userfaultfd import Uffd
 from repro.units import PAGE_SIZE
 from repro.vmm.microvm import GUEST_BASE_VPN, MicroVM
@@ -161,8 +162,16 @@ class REAP(Approach):
                 for i in todo:
                     vpn = vm.guest_vpn(order[i])
                     if not vm.space.pte_present(vpn):
-                        vm.space.install_anon(vpn,
-                                              content=self._ws_contents[i])
+                        try:
+                            vm.space.install_anon(
+                                vpn, content=self._ws_contents[i])
+                        except OutOfMemory:
+                            # Speculative fill must not kill the run:
+                            # stop streaming and let the remaining pages
+                            # fall through to the demand handler, which
+                            # allocates under direct-reclaim throttling.
+                            self.prefetch_aborts += 1
+                            return
                     uffd.resolve(vpn)
             pos += count
 

@@ -1,0 +1,82 @@
+"""Eviction-policy eBPF programs for the reclaim attach point.
+
+The reclaim scan fires :data:`~repro.mm.reclaim.HOOK_MM_EVICT` once per
+eviction candidate with context ``(u64 ino, u64 index, u64 free_frames,
+u64 need)`` and interprets the program's r0 as a verdict:
+:data:`~repro.mm.reclaim.VERDICT_VETO` rotates the page back onto the
+LRU, any value >= 2 is a score, and candidates are evicted in ascending
+``(score, scan order)``.  With no program attached the kernel LRU order
+applies unchanged — the "policy is a plug-in, LRU is the default"
+contract of the eBPF-eviction line of work (Cache is King, LearnedCache;
+see PAPERS.md).
+
+Two built-in policies double as CLI-selectable examples and as the
+determinism fixtures for the acceptance criterion that an attached
+policy yields a *different but still deterministic* eviction sequence:
+
+* ``protect-head`` — vetoes eviction of the first 64 pages of every
+  file (the snapshot header region a restore always touches first).
+* ``evict-high-first`` — scores candidates so the highest file offsets
+  are reclaimed first, inverting LRU's arrival order for streamed
+  snapshots.
+"""
+
+from __future__ import annotations
+
+from repro.ebpf.asm import Label, Program, alu, assemble, exit_, jcond, load, movi
+from repro.ebpf.insn import R0, R1, R2
+from repro.mm.reclaim import HOOK_MM_EVICT, VERDICT_DEFAULT, VERDICT_VETO
+
+#: Pages below this file offset are vetoed by ``protect-head``.
+PROTECTED_HEAD_PAGES = 64
+
+#: Score bias for ``evict-high-first``: score = BIAS - index, so larger
+#: offsets sort first while every score stays >= 2 (above the verdict
+#: range) for any realistic file size.
+HIGH_FIRST_BIAS = 1 << 31
+
+
+def protect_head_program() -> Program:
+    """Veto eviction of every page with index < PROTECTED_HEAD_PAGES."""
+    return assemble("evict_protect_head", [
+        load(R2, R1, 8),                     # r2 = page index
+        jcond("jge", R2, "default", imm=PROTECTED_HEAD_PAGES),
+        movi(R0, VERDICT_VETO),
+        exit_(),
+        Label("default"),
+        movi(R0, VERDICT_DEFAULT),
+        exit_(),
+    ])
+
+
+def evict_high_first_program() -> Program:
+    """Score candidates so the highest file offsets evict first."""
+    return assemble("evict_high_first", [
+        load(R2, R1, 8),                     # r2 = page index
+        movi(R0, HIGH_FIRST_BIAS),
+        alu("sub", R0, R2),                  # r0 = BIAS - index
+        exit_(),
+    ])
+
+
+POLICIES: dict[str, object] = {
+    "protect-head": protect_head_program,
+    "evict-high-first": evict_high_first_program,
+}
+
+
+def policy_names() -> tuple[str, ...]:
+    return tuple(sorted(POLICIES))
+
+
+def attach_evict_policy(kernel, name: str) -> Program:
+    """Assemble the named policy and attach it to the eviction hook."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown eviction policy {name!r}; "
+            f"choose from {', '.join(policy_names())}") from None
+    program = factory()
+    kernel.kprobes.attach(HOOK_MM_EVICT, program)
+    return program

@@ -17,6 +17,7 @@ BPF_FUNC_MAP_DELETE_ELEM = 3
 BPF_FUNC_KTIME_GET_NS = 5
 BPF_FUNC_TRACE_PRINTK = 6
 BPF_FUNC_RINGBUF_OUTPUT = 130
+BPF_FUNC_CACHED_PAGES = 131
 
 # Argument archetypes used by the verifier.
 ARG_CONST_MAP_PTR = "const_map_ptr"
@@ -70,6 +71,10 @@ HELPERS: dict[int, HelperSpec] = {
         HelperSpec(BPF_FUNC_RINGBUF_OUTPUT, "bpf_ringbuf_output",
                    (ARG_CONST_MAP_PTR, ARG_PTR_TO_MAP_VALUE),
                    RET_INTEGER, map_kinds=("ringbuf",)),
+        # Read-only residency introspection for eviction-policy programs:
+        # how many pages of inode R1 are currently in the page cache.
+        HelperSpec(BPF_FUNC_CACHED_PAGES, "bpf_cached_pages",
+                   (ARG_SCALAR,), RET_INTEGER),
     )
 }
 

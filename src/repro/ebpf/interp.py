@@ -116,6 +116,11 @@ class Interpreter:
         #: Trace plane hook (duck-typed; see repro.trace).  When set and
         #: enabled, every completed program run emits one span.
         self.tracer = None
+        #: Residency hook for bpf_cached_pages(): any object exposing
+        #: ``cached_pages(ino) -> int`` (the kernel wires its page cache
+        #: here).  ``None`` makes the helper report 0 — a standalone
+        #: interpreter has no page cache to inspect.
+        self.page_stats = None
 
     def run(self, program: Program, ctx: bytes = b"",
             budget: int = INSN_BUDGET) -> ExecutionResult:
@@ -333,6 +338,13 @@ class Interpreter:
                 raise RuntimeFault("trace_printk arg not scalar")
             self.printk_log.append(value)
             return 0
+        if spec.helper_id == H.BPF_FUNC_CACHED_PAGES:
+            ino = regs[R1]
+            if not isinstance(ino, int):
+                raise RuntimeFault("cached_pages arg not scalar")
+            if self.page_stats is None:
+                return 0
+            return int(self.page_stats.cached_pages(ino)) & U64_MASK
         raise RuntimeFault(f"helper {helper_id} not implemented")
 
     @staticmethod

@@ -134,3 +134,29 @@ class KprobeManager:
                     pass  # already detached by a nested fire
         side, self.side_cost = self.side_cost, 0.0
         return total_insns * INSN_COST_SECONDS + side
+
+    def fire_verdict(self, name: str, ctx: bytes) -> tuple[int | None, float]:
+        """Run all programs attached to ``name`` and report a verdict.
+
+        Unlike :meth:`fire`, r0 is *data* returned to the kernel caller
+        (score/veto for eviction-policy hooks), so no value carries the
+        RET_DETACH_SELF side effect.  Returns ``(verdict, seconds)``
+        where the verdict is the last program's r0, or ``None`` when
+        nothing is attached — the caller falls back to its built-in
+        policy (kernel LRU for reclaim).
+        """
+        hook = self.hook(name)
+        hook.fire_count += 1
+        if not hook.programs:
+            return None, 0.0
+        if len(ctx) != hook.ctx_size:
+            raise KprobeError(
+                f"hook {name!r}: ctx size {len(ctx)} != {hook.ctx_size}")
+        total_insns = 0
+        verdict = 0
+        for program in list(hook.programs):
+            result = self.interpreter.run(program, ctx)
+            total_insns += result.insn_count
+            verdict = result.r0
+        side, self.side_cost = self.side_cost, 0.0
+        return verdict, total_insns * INSN_COST_SECONDS + side

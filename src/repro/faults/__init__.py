@@ -13,7 +13,9 @@ that a whole chaos run is reproducible from a single RNG seed:
 * :class:`FileStoreFaultInjector` — torn/corrupt snapshot pages
   surfacing as :class:`~repro.storage.filestore.TornPageError`;
 * :class:`EbpfFaultInjector` — program attach/verify failures and map
-  capacity exhaustion.
+  capacity exhaustion;
+* :class:`MemFaultInjector` — reclaim stalls delaying kswapd wakeups
+  on the :mod:`repro.mm.reclaim` memory-pressure plane.
 
 The degradation machinery that *consumes* faults lives with each layer
 (page-cache retry/backoff, SnapBPF's demand-paging fallback, node-level
@@ -34,6 +36,7 @@ from repro.faults.injectors import (
     DeviceFaultInjector,
     EbpfFaultInjector,
     FileStoreFaultInjector,
+    MemFaultInjector,
 )
 
 __all__ = [
@@ -44,6 +47,7 @@ __all__ = [
     "FaultSchedule",
     "FaultStats",
     "FileStoreFaultInjector",
+    "MemFaultInjector",
     "PERSISTENT",
     "RetryPolicy",
     "TRANSIENT",

@@ -119,6 +119,45 @@ class FileStoreFaultInjector:
         return TornPageError(file.name, page)
 
 
+class MemFaultInjector:
+    """Reclaim stalls: kswapd wakes but loses the CPU before scanning.
+
+    The injector keeps its own ``reclaim_stalls`` counter rather than a
+    :class:`FaultStats` field so chaos fingerprints of configs that never
+    enable the pressure plane stay byte-identical to earlier releases.
+    """
+
+    def __init__(self, rng: random.Random, config: FaultConfig,
+                 stats: FaultStats):
+        self.rng = rng
+        self.config = config
+        self.stats = stats
+        self._forced_stalls = 0
+        #: Stalls injected so far (surfaced via chaos approach counters).
+        self.reclaim_stalls = 0
+
+    def stall_next(self, n: int = 1) -> None:
+        """Force the next ``n`` kswapd wakeups to stall (tests)."""
+        self._forced_stalls += n
+
+    def on_wakeup(self) -> float:
+        """Seconds kswapd must stall before this wakeup's scan (0 = none).
+
+        One RNG draw per wakeup whenever a rate is configured, so the
+        stream stays aligned across runs regardless of outcomes."""
+        stall = False
+        if self._forced_stalls > 0:
+            self._forced_stalls -= 1
+            stall = True
+        elif (self.config.reclaim_stall_rate
+                and self.rng.random() < self.config.reclaim_stall_rate):
+            stall = True
+        if not stall:
+            return 0.0
+        self.reclaim_stalls += 1
+        return self.config.reclaim_stall_seconds
+
+
 class EbpfFaultInjector:
     """BPF runtime failures: attach rejections and map-capacity caps."""
 

@@ -40,11 +40,16 @@ class FaultConfig:
     attach_failure_rate: float = 0.0
     #: If set, clamp requested BPF map capacities to this many entries.
     map_capacity_cap: int | None = None
+    #: Probability that a kswapd wakeup stalls before scanning (the mm
+    #: analogue of a latency spike: reclaim CPU stolen by other work).
+    reclaim_stall_rate: float = 0.0
+    #: Duration of one injected reclaim stall, in seconds.
+    reclaim_stall_seconds: float = 500e-6
 
     def __post_init__(self) -> None:
         for name in ("media_error_rate", "persistent_fraction",
                      "latency_spike_rate", "torn_page_rate",
-                     "attach_failure_rate"):
+                     "attach_failure_rate", "reclaim_stall_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
@@ -54,6 +59,8 @@ class FaultConfig:
             raise ValueError("degraded_multiplier must be >= 1")
         if self.map_capacity_cap is not None and self.map_capacity_cap < 1:
             raise ValueError("map_capacity_cap must be >= 1")
+        if self.reclaim_stall_seconds < 0.0:
+            raise ValueError("reclaim_stall_seconds must be >= 0")
 
 
 @dataclass
@@ -89,6 +96,7 @@ class FaultSchedule:
             DeviceFaultInjector,
             EbpfFaultInjector,
             FileStoreFaultInjector,
+            MemFaultInjector,
         )
 
         self.stats = FaultStats()
@@ -98,6 +106,8 @@ class FaultSchedule:
             self._stream("filestore"), self.config, self.stats)
         self.ebpf = EbpfFaultInjector(
             self._stream("ebpf"), self.config, self.stats)
+        self.mm = MemFaultInjector(
+            self._stream("mm"), self.config, self.stats)
 
     def _stream(self, layer: str) -> random.Random:
         """An independent, layer-local RNG derived from the seed."""
@@ -109,6 +119,9 @@ class FaultSchedule:
         kernel.device.fault_injector = self.device
         kernel.filestore.fault_injector = self.filestore
         kernel.kprobes.fault_injector = self.ebpf
+        reclaim = getattr(kernel, "reclaim", None)
+        if reclaim is not None:
+            reclaim.fault_injector = self.mm
         # Publish the injection counters through the machine's registry
         # (``fault_*`` keys) so one snapshot covers the whole stack.  The
         # injectors keep owning the plain attributes; a collector is the

@@ -143,13 +143,21 @@ def run_chaos_scenario(profile: FunctionProfile,
                        warm_pool_ttl: float | None = None,
                        request_deadline: float | None = None,
                        device_kind: str = "ssd",
-                       costs: CostModel | None = None) -> ChaosResult:
+                       costs: CostModel | None = None,
+                       ram_bytes: int | None = None) -> ChaosResult:
     """Serve ``n_requests`` under an installed fault schedule.
 
     The schedule is installed *after* the record phase so preparation is
     clean and every injected fault lands on the serving path under test.
+    ``ram_bytes`` sizes the frame pool AND enables the memory-pressure
+    plane (watermarks + kswapd), so reclaim stalls become injectable;
+    the default keeps the unpressured kernel and its exact fingerprints.
     """
-    kernel = make_kernel(device_kind, costs=costs)
+    if ram_bytes is not None:
+        kernel = make_kernel(device_kind, costs=costs, ram_bytes=ram_bytes)
+        kernel.reclaim.enable_watermarks()
+    else:
+        kernel = make_kernel(device_kind, costs=costs)
     node = FaaSNode(kernel, approach, [profile],
                     warm_pool_ttl=warm_pool_ttl,
                     request_deadline=request_deadline)
@@ -163,6 +171,16 @@ def run_chaos_scenario(profile: FunctionProfile,
     counters = {name: getattr(approach_obj, name)
                 for name in APPROACH_FAULT_COUNTERS
                 if getattr(approach_obj, name, 0)}
+    # Reclaim-plane activity joins the fingerprint through the same
+    # nonzero-only dict, so unpressured runs (reclaim never fires) keep
+    # their historical fingerprints byte-for-byte.
+    reclaim_stats = kernel.reclaim.stats
+    for name, value in (
+            ("reclaim_evictions", reclaim_stats.reclaimed),
+            ("reclaim_kswapd_wakeups", reclaim_stats.kswapd_wakeups),
+            ("reclaim_stalls", schedule.mm.reclaim_stalls)):
+        if value:
+            counters[name] = int(value)
     return ChaosResult(
         approach=approach_obj.name,
         function=profile.name,
@@ -183,7 +201,8 @@ def chaos_key(profile: FunctionProfile, approach: str,
               warm_pool_ttl: float | None = None,
               request_deadline: float | None = None,
               device_kind: str = "ssd",
-              costs: CostModel | None = None) -> str:
+              costs: CostModel | None = None,
+              ram_bytes: int | None = None) -> str:
     """Content address of one chaos run — every argument that determines
     the outcome, hashed under the shared schema version (the on-disk
     sweep store files chaos entries by this key)."""
@@ -201,6 +220,7 @@ def chaos_key(profile: FunctionProfile, approach: str,
             "request_deadline": request_deadline,
             "device_kind": device_kind,
             "costs": asdict(costs) if costs is not None else None,
+            "ram_bytes": ram_bytes,
         },
     })
 
@@ -208,12 +228,13 @@ def chaos_key(profile: FunctionProfile, approach: str,
 def _chaos_cell(args: tuple) -> ChaosResult:
     """Worker entrypoint for the parallel chaos suite (one approach)."""
     profile, approach, config, fault_seed, n_requests, interval, \
-        warm_pool_ttl, request_deadline, device_kind, costs = args
+        warm_pool_ttl, request_deadline, device_kind, costs, \
+        ram_bytes = args
     return run_chaos_scenario(
         profile, approach, config=config, fault_seed=fault_seed,
         n_requests=n_requests, interval=interval,
         warm_pool_ttl=warm_pool_ttl, request_deadline=request_deadline,
-        device_kind=device_kind, costs=costs)
+        device_kind=device_kind, costs=costs, ram_bytes=ram_bytes)
 
 
 def run_chaos_suite(profile: FunctionProfile, approaches: list[str],
@@ -224,7 +245,8 @@ def run_chaos_suite(profile: FunctionProfile, approaches: list[str],
                     request_deadline: float | None = None,
                     device_kind: str = "ssd",
                     costs: CostModel | None = None,
-                    jobs: int = 1, store=None) -> list[ChaosResult]:
+                    jobs: int = 1, store=None,
+                    ram_bytes: int | None = None) -> list[ChaosResult]:
     """One chaos run per approach, optionally across worker processes.
 
     Each cell is an independent pure function of its arguments (a fresh
@@ -237,7 +259,8 @@ def run_chaos_suite(profile: FunctionProfile, approaches: list[str],
 
     keys = [chaos_key(profile, name, config, fault_seed, n_requests,
                       interval, warm_pool_ttl, request_deadline,
-                      device_kind, costs) for name in approaches]
+                      device_kind, costs, ram_bytes)
+            for name in approaches]
     results: dict[int, ChaosResult] = {}
     if store is not None:
         for i, key in enumerate(keys):
@@ -250,7 +273,7 @@ def run_chaos_suite(profile: FunctionProfile, approaches: list[str],
     missing = [i for i in range(len(approaches)) if i not in results]
     cells = [(profile, approaches[i], config, fault_seed, n_requests,
               interval, warm_pool_ttl, request_deadline, device_kind,
-              costs) for i in missing]
+              costs, ram_bytes) for i in missing]
     for i, result in zip(missing, parallel_map(_chaos_cell, cells, jobs)):
         results[i] = result
         if store is not None:

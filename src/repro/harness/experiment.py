@@ -13,7 +13,7 @@ import warnings
 from typing import Callable
 
 from repro.baselines.base import Approach, approach_registry
-from repro.harness.spec import ScenarioSpec
+from repro.harness.spec import ScenarioSpec, stable_hash
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.results import ScenarioResult
 from repro.mm.costs import CostModel
@@ -21,7 +21,7 @@ from repro.mm.kernel import Kernel
 from repro.sim import Environment
 from repro.storage.hdd import HDDevice
 from repro.storage.ssd import SSDevice
-from repro.units import GIB
+from repro.units import GIB, PAGE_SIZE
 from repro.workloads.profile import FunctionProfile
 from repro.workloads.trace import generate_trace
 
@@ -68,7 +68,9 @@ def run_scenario(spec: ScenarioSpec | FunctionProfile,
         return _run_scenario(spec.function, spec.approach,
                              spec.n_instances, spec.input_seed,
                              spec.vary_inputs, spec.device_kind,
-                             spec.costs, kernel)
+                             spec.costs, kernel,
+                             ram_bytes=spec.ram_bytes,
+                             evict_policy=spec.evict_policy)
     warnings.warn(
         "run_scenario(profile, approach, ...) is deprecated; pass a "
         "ScenarioSpec (repro.harness.spec) instead",
@@ -86,10 +88,19 @@ def _run_scenario(profile: FunctionProfile,
                   vary_inputs: bool,
                   device_kind: str,
                   costs: CostModel | None,
-                  kernel: Kernel | None) -> ScenarioResult:
+                  kernel: Kernel | None,
+                  ram_bytes: int | None = None,
+                  evict_policy: str | None = None) -> ScenarioResult:
     if isinstance(approach_factory, str):
         approach_factory = approach_registry()[approach_factory]
-    kernel = kernel or make_kernel(device_kind, costs=costs)
+    if kernel is None:
+        kernel = make_kernel(device_kind, costs=costs,
+                             ram_bytes=(ram_bytes if ram_bytes is not None
+                                        else 256 * GIB))
+        if ram_bytes is not None:
+            # A sized pool is a memory-pressure scenario: watermarks on,
+            # kswapd running.  The default pool keeps seed semantics.
+            kernel.reclaim.enable_watermarks()
     env = kernel.env
     approach = approach_factory(kernel)
     trace = generate_trace(profile, input_seed)
@@ -104,6 +115,10 @@ def _run_scenario(profile: FunctionProfile,
     kernel.drop_caches()
     kernel.device.reset_stats()
     kernel.frames.reset_peak()
+    kernel.reclaim.eviction_log.clear()
+    if evict_policy is not None:
+        from repro.core.policies import attach_evict_policy
+        attach_evict_policy(kernel, evict_policy)
     cache_adds_before = kernel.page_cache.stats.adds
     hook_seconds_before = kernel.page_cache.stats.bpf_hook_seconds
 
@@ -137,6 +152,7 @@ def _run_scenario(profile: FunctionProfile,
     done = env.all_of(processes)
     env.run(done)
 
+    usage = kernel.frames.usage()
     result = ScenarioResult(
         function=profile.name,
         approach=approach.name,
@@ -144,6 +160,8 @@ def _run_scenario(profile: FunctionProfile,
         invocations=[p.value for p in processes],
         peak_memory_bytes=kernel.frames.peak_bytes,
         end_memory_bytes=kernel.memory_in_use_bytes(),
+        end_anon_bytes=usage.anon * PAGE_SIZE,
+        end_file_bytes=usage.file * PAGE_SIZE,
         device_requests=kernel.device.stats.requests,
         device_bytes_read=kernel.device.stats.bytes_read,
         device_bytes_written=kernel.device.stats.bytes_written,
@@ -157,6 +175,15 @@ def _run_scenario(profile: FunctionProfile,
         device_p99_latency=kernel.device.stats.p99_latency,
     )
     _collect_extras(approach, result)
+    # Reclaim activity, surfaced only when the run actually evicted, so
+    # unpressured runs keep their exact extras (identity contract).  The
+    # digest fingerprints the full eviction *sequence*: two runs evicting
+    # the same pages in a different order get different digests.
+    eviction_log = kernel.reclaim.eviction_log
+    if eviction_log:
+        result.extra["reclaim_evictions"] = float(len(eviction_log))
+        result.extra["reclaim_evict_digest"] = float(int(
+            stable_hash([list(key) for key in eviction_log])[:12], 16))
     for vm in vms:
         approach.post_invoke(vm)
         vm.teardown()

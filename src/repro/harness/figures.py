@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.baselines.base import approach_registry
 from repro.harness.experiment import ResultCache
 from repro.harness.spec import ScenarioSpec
-from repro.units import GIB
+from repro.units import GIB, PAGE_SIZE
 from repro.workloads.profile import FUNCTIONS, FunctionProfile
 
 # Ensure all approaches (incl. repro.core's) are registered on import.
@@ -36,14 +36,62 @@ FIGURE_MATRIX: dict[str, tuple[tuple[str, ...], int]] = {
            CONCURRENT_INSTANCES),
     "4": (("linux-ra", "pv-ptes", "snapbpf"), 1),
     "overheads": (("snapbpf",), 1),
+    "mem": (("linux-ra", "reap", "snapbpf"), CONCURRENT_INSTANCES),
 }
 
 FIGURES: tuple[str, ...] = tuple(FIGURE_MATRIX)
+
+#: Approaches whose restore installs private anonymous frames via
+#: userfaultfd (per-VM, unreclaimable) rather than shared page-cache
+#: pages.  Used to compose the memory-pressure figure and to size pools.
+UFFD_APPROACHES = ("reap", "faast")
+
+#: Frame-pool headroom factors for the memory-pressure figure: 1.0
+#: leaves the full reclaimable set resident, 0.25 forces the kernel to
+#: shed three quarters of it.  REAP's pool is sized by the same formula
+#: but its reclaimable set is empty — its frames are pinned anonymous.
+MEM_HEADROOMS = (1.0, 0.25)
+
+
+def pressure_ram_bytes(profile: FunctionProfile, approach: str,
+                       n_instances: int, headroom: float) -> int:
+    """Frame-pool size that leaves ``headroom`` of the run's reclaimable
+    pages worth of room above its unreclaimable footprint.
+
+    The unreclaimable floor is composed per approach: userfaultfd
+    restores pin ``n x (ws + alloc)`` anonymous frames; page-cache
+    restores pin ``n x (alloc + written)`` anonymous frames (runtime
+    allocations plus CoW copies of written pages) plus the still-mapped
+    ``ws - written`` file pages shared by all instances.  The reclaimable
+    set is the file pages whose last mapping went away (CoW-released
+    written pages) — or, for uffd, the spent record-phase cache fill.
+    """
+    ws = profile.ws_pages
+    alloc = profile.alloc_pages
+    written = int(ws * profile.write_frac)
+    if approach in UFFD_APPROACHES:
+        anon = n_instances * (ws + alloc)
+        pinned_file = 0
+        reclaimable = ws
+    else:
+        anon = n_instances * (alloc + written)
+        pinned_file = ws - written
+        reclaimable = written
+    slack = 256  # allocator churn: in-flight fills, transient CoW pairs
+    return (anon + pinned_file + int(reclaimable * headroom)
+            + slack) * PAGE_SIZE
 
 
 def figure_specs(figure: str, functions=None) -> list[ScenarioSpec]:
     """Every scenario cell one figure needs, as sweepable specs."""
     approaches, n_instances = FIGURE_MATRIX[figure]
+    if figure == "mem":
+        return [
+            ScenarioSpec(
+                function=p, approach=a, n_instances=n_instances,
+                ram_bytes=pressure_ram_bytes(p, a, n_instances, g))
+            for p in _profiles(functions) for a in approaches
+            for g in MEM_HEADROOMS]
     return [ScenarioSpec(function=p, approach=a, n_instances=n_instances)
             for p in _profiles(functions) for a in approaches]
 
@@ -188,6 +236,46 @@ def overheads(cache: ResultCache | None = None, functions=None) -> FigureData:
     return data
 
 
+def figure_mem(cache: ResultCache | None = None,
+               functions=None) -> FigureData:
+    """Memory-pressure elasticity (paper Fig. 3c's dynamic claim): under
+    a shrinking frame pool, page-cache-backed approaches deflate their
+    file-backed footprint via reclaim, while REAP's per-VM anonymous
+    frames cannot be shed at all.
+
+    Each approach gets one series per headroom factor g (pool sized by
+    :func:`pressure_ram_bytes`).  For uffd approaches the value is the
+    per-VM anonymous footprint (GiB) — flat across g; for page-cache
+    approaches it is the shared file-backed footprint — dropping with g.
+    """
+    cache = cache or ResultCache()
+    profiles = _profiles(functions)
+    approaches, n_instances = FIGURE_MATRIX["mem"]
+    data = FigureData(
+        figure="mem", ylabel="End-of-run footprint (GiB)",
+        functions=[p.name for p in profiles],
+        notes=f"{n_instances} concurrent instances; g = headroom over "
+              f"the unreclaimable floor; file series deflate under "
+              f"pressure, anon/vm series stay pinned")
+    for approach in approaches:
+        uffd = approach in UFFD_APPROACHES
+        kind = "anon/vm" if uffd else "file"
+        for g in MEM_HEADROOMS:
+            values = []
+            for p in profiles:
+                spec = ScenarioSpec(
+                    function=p, approach=approach, n_instances=n_instances,
+                    ram_bytes=pressure_ram_bytes(p, approach,
+                                                 n_instances, g))
+                result = cache.get(spec)
+                if uffd:
+                    values.append(result.end_anon_bytes / n_instances / GIB)
+                else:
+                    values.append(result.end_file_bytes / GIB)
+            data.series[f"{approach} {kind} g={g}"] = values
+    return data
+
+
 #: Builder function per figure name (shared by the CLI and benchmarks).
 FIGURE_BUILDERS = {
     "3a": figure_3a,
@@ -195,6 +283,7 @@ FIGURE_BUILDERS = {
     "3c": figure_3c,
     "4": figure_4,
     "overheads": overheads,
+    "mem": figure_mem,
 }
 
 

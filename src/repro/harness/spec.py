@@ -28,7 +28,9 @@ from repro.workloads.profile import FunctionProfile, profile_by_name
 #: Version tag baked into every spec hash and on-disk store entry.  Bump
 #: whenever the spec fields, result serialization, or simulation
 #: semantics change in a way that invalidates cached results.
-SCHEMA_VERSION = 1
+#: v2: memory-pressure plane (ram_bytes/evict_policy spec fields,
+#: end_anon/end_file result fields).
+SCHEMA_VERSION = 2
 
 _DEVICE_KINDS = ("ssd", "hdd")
 
@@ -51,6 +53,13 @@ class ScenarioSpec:
     vary_inputs: bool = False
     device_kind: str = "ssd"
     costs: CostModel | None = None
+    #: Host RAM for the run.  ``None`` keeps the default 256 GiB pool
+    #: with the pressure plane off; setting it sizes the frame pool AND
+    #: enables watermarks + kswapd (a memory-pressure scenario).
+    ram_bytes: int | None = None
+    #: Named eviction-policy BPF program (repro.core.policies) attached
+    #: to the reclaim hook before the timed invocations; ``None`` = LRU.
+    evict_policy: str | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.function, str):
@@ -69,6 +78,16 @@ class ScenarioSpec:
                              f"got {self.n_instances}")
         if self.costs is not None and not isinstance(self.costs, CostModel):
             raise TypeError("costs must be a CostModel or None")
+        if self.ram_bytes is not None:
+            if not isinstance(self.ram_bytes, int) or self.ram_bytes <= 0:
+                raise ValueError(f"ram_bytes must be a positive int or "
+                                 f"None, got {self.ram_bytes!r}")
+        if self.evict_policy is not None:
+            from repro.core.policies import POLICIES
+            if self.evict_policy not in POLICIES:
+                raise ValueError(
+                    f"unknown eviction policy {self.evict_policy!r}; "
+                    f"choose from {', '.join(sorted(POLICIES))}")
 
     # -- identity ------------------------------------------------------------
     @property
@@ -85,6 +104,8 @@ class ScenarioSpec:
             "vary_inputs": self.vary_inputs,
             "device_kind": self.device_kind,
             "costs": asdict(self.costs) if self.costs is not None else None,
+            "ram_bytes": self.ram_bytes,
+            "evict_policy": self.evict_policy,
         }
 
     def stable_hash(self) -> str:
@@ -107,6 +128,8 @@ class ScenarioSpec:
             vary_inputs=data["vary_inputs"],
             device_kind=data["device_kind"],
             costs=CostModel(**costs) if costs is not None else None,
+            ram_bytes=data.get("ram_bytes"),
+            evict_policy=data.get("evict_policy"),
         )
 
     def __str__(self) -> str:  # pragma: no cover - display helper
@@ -115,6 +138,10 @@ class ScenarioSpec:
             extras.append("vary-inputs")
         if self.costs is not None:
             extras.append("custom-costs")
+        if self.ram_bytes is not None:
+            extras.append(f"ram={self.ram_bytes // (1 << 20)}MiB")
+        if self.evict_policy is not None:
+            extras.append(f"policy={self.evict_policy}")
         suffix = f" ({', '.join(extras)})" if extras else ""
         return (f"{self.function_name}/{self.approach} "
                 f"x{self.n_instances} [{self.device_kind}]{suffix}")

@@ -28,6 +28,11 @@ class ScenarioResult:
     peak_memory_bytes: int = 0
     #: Memory still resident when all invocations completed.
     end_memory_bytes: int = 0
+    #: End-of-run residency split by frame kind: private anonymous
+    #: (pinned per VM under pressure) vs shared file-backed (reclaimable)
+    #: — the decomposition behind the paper's Fig. 3c elasticity claim.
+    end_anon_bytes: int = 0
+    end_file_bytes: int = 0
     #: Block-device counters over the invocation phase.
     device_requests: int = 0
     device_bytes_read: int = 0

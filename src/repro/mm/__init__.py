@@ -15,6 +15,9 @@ The pieces mirror the kernel subsystems the paper manipulates:
   CoW, userfaultfd) written as DES generators,
 * :mod:`repro.mm.userfaultfd` — userspace fault delegation used by the
   REAP/Faast baselines,
+* :mod:`repro.mm.reclaim` — the memory-pressure plane: split
+  active/inactive LRU lists, zone watermarks + kswapd, and the
+  eBPF-pluggable eviction-policy attach point,
 * :mod:`repro.mm.kernel` — the aggregate "host kernel" object that wires
   the above to a block device and the eBPF runtime.
 """
@@ -25,6 +28,13 @@ from repro.mm.frames import Frame, FrameAllocator, OutOfMemory
 from repro.mm.kernel import Kernel
 from repro.mm.page_cache import CacheEntry, PageCache
 from repro.mm.readahead import ReadaheadState
+from repro.mm.reclaim import (
+    HOOK_MM_EVICT,
+    LruLists,
+    ReclaimController,
+    Watermarks,
+    register_evict_hint,
+)
 from repro.mm.userfaultfd import Uffd, UffdMsg
 
 __all__ = [
@@ -33,12 +43,17 @@ __all__ = [
     "CostModel",
     "Frame",
     "FrameAllocator",
+    "HOOK_MM_EVICT",
     "Kernel",
+    "LruLists",
     "OutOfMemory",
     "PTE",
     "PageCache",
     "ReadaheadState",
+    "ReclaimController",
     "Uffd",
     "UffdMsg",
     "VMA",
+    "Watermarks",
+    "register_evict_hint",
 ]

@@ -57,6 +57,9 @@ class CostModel:
     #: Inserting one page into the page cache (frame alloc + radix
     #: insert + LRU link) — the CPU side of add_to_page_cache_lru().
     cache_insert: float = 0.15 * USEC
+    #: Reclaiming one page (LRU scan amortization + radix delete +
+    #: frame free) — charged per page kswapd frees.
+    reclaim_page: float = 0.4 * USEC
 
     def scaled(self, factor: float) -> "CostModel":
         """Uniformly scaled copy (sensitivity analyses)."""

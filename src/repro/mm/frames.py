@@ -71,6 +71,11 @@ class FrameAllocator:
         self.peak_frames = 0
         self._next_pfn = itertools.count()
         self._per_owner: dict[str, int] = {}
+        #: Memory-pressure plane (a :class:`repro.mm.reclaim.\
+        #: ReclaimController`); when set, every allocation goes through
+        #: watermark throttling and may wake kswapd.  ``None`` keeps the
+        #: bare fail-on-exhaustion allocator for standalone use.
+        self.reclaimer = None
 
     # -- allocation -----------------------------------------------------------
     @property
@@ -85,6 +90,8 @@ class FrameAllocator:
               index: int | None = None, owner: str | None = None) -> Frame:
         if kind not in (ANON, FILE):
             raise ValueError(f"unknown frame kind {kind!r}")
+        if self.reclaimer is not None:
+            self.reclaimer.throttle_alloc()
         if self.free_frames <= 0:
             raise OutOfMemory(
                 f"no free frames ({self.total_frames} total in use)")
@@ -97,6 +104,8 @@ class FrameAllocator:
         else:
             self.counters.file += 1
         self.peak_frames = max(self.peak_frames, self.in_use)
+        if self.reclaimer is not None:
+            self.reclaimer.note_allocation()
         return frame
 
     def free(self, frame: Frame) -> None:

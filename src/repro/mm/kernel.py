@@ -18,6 +18,7 @@ from repro.mm.address_space import AddressSpace
 from repro.mm.costs import CostModel
 from repro.mm.frames import FrameAllocator
 from repro.mm.page_cache import PageCache
+from repro.mm.reclaim import register_evict_hint
 from repro.mm.userfaultfd import Uffd
 from repro.sim import Environment
 from repro.storage.device import BlockDevice
@@ -62,7 +63,14 @@ class Kernel:
                                     self.kprobes,
                                     insert_cost=self.costs.cache_insert,
                                     retry_policy=retry_policy,
-                                    registry=self.metrics)
+                                    registry=self.metrics,
+                                    reclaim_page_cost=self.costs.reclaim_page)
+        #: The memory-pressure plane (same object the page cache owns).
+        #: Watermarks/kswapd stay off until ``reclaim.enable_watermarks()``.
+        self.reclaim = self.page_cache.reclaim
+        # The bpf_cached_pages() helper reads residency through this hook.
+        self.interpreter.page_stats = self.page_cache
+        register_evict_hint(self)
         #: The installed FaultSchedule, if any (see FaultSchedule.install).
         self.faults = None
 

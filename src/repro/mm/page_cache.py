@@ -19,13 +19,13 @@ mechanism by which ten concurrent sandboxes end up doing one disk read.
 from __future__ import annotations
 
 import struct
-from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.ebpf.kprobe import KprobeManager
 from repro.faults.retry import RetryPolicy
 from repro.metrics.registry import MetricsRegistry
 from repro.mm.frames import FILE, FrameAllocator, OutOfMemory
+from repro.mm.reclaim import ReclaimController
 from repro.sim import Environment, Event
 from repro.storage.device import PRIO_READAHEAD
 from repro.storage.filestore import File, FileStore
@@ -46,6 +46,12 @@ class CacheEntry:
     io_event: Event | None = None
     #: PG_readahead: touching this page triggers the next async window.
     ra_marker: bool = False
+    #: PG_referenced: second-chance bit — a touch on the inactive list
+    #: sets it; the reclaim scan clears it and rotates instead of
+    #: evicting; a touch while set promotes to the active list.
+    referenced: bool = False
+    #: Which LRU list the page sits on (maintained by the reclaim plane).
+    active: bool = False
 
     @property
     def locked(self) -> bool:
@@ -73,6 +79,9 @@ class CacheStats:
         #: Reads that exhausted the retry budget (or were not retryable):
         #: pages dropped, waiters saw EIO.
         self._io_failures = c("cache_io_failures_total")
+        #: Speculative (readahead/prefetch) fills aborted because the
+        #: frame pool was exhausted — graceful degradation, not an error.
+        self._ra_oom_aborts = c("cache_ra_oom_aborts_total")
 
     @property
     def adds(self) -> int:
@@ -102,10 +111,15 @@ class CacheStats:
     def io_failures(self) -> int:
         return self._io_failures.value
 
+    @property
+    def ra_oom_aborts(self) -> int:
+        return self._ra_oom_aborts.value
+
     def reset(self) -> None:
         for metric in (self._adds, self._hits, self._misses,
                        self._evictions, self._bpf_hook_seconds,
-                       self._io_retries, self._io_failures):
+                       self._io_retries, self._io_failures,
+                       self._ra_oom_aborts):
             metric.reset()
 
 
@@ -116,7 +130,8 @@ class PageCache:
                  filestore: FileStore, kprobes: KprobeManager,
                  insert_cost: float = 0.15e-6,
                  retry_policy: RetryPolicy | None = None,
-                 registry: MetricsRegistry | None = None):
+                 registry: MetricsRegistry | None = None,
+                 reclaim_page_cost: float = 0.0):
         self.env = env
         self.frames = frames
         self.filestore = filestore
@@ -126,15 +141,23 @@ class PageCache:
         #: fails waiters on the first error (the pre-fault-plane rule).
         self.retry_policy = retry_policy
         self.stats = CacheStats(registry)
-        self._entries: OrderedDict[tuple[int, int], CacheEntry] = OrderedDict()
+        self._entries: dict[tuple[int, int], CacheEntry] = {}
+        #: ino -> resident entry count, so cached_pages(ino) is O(1).
+        self._ino_pages: dict[int, int] = {}
         if HOOK_ADD_TO_PAGE_CACHE not in getattr(kprobes, "_hooks", {}):
             kprobes.declare_hook(HOOK_ADD_TO_PAGE_CACHE, HOOK_CTX_SIZE)
+        #: The memory-pressure plane: split LRU lists, watermarks/kswapd
+        #: (off until enabled), and the eviction-policy attach point.
+        self.reclaim = ReclaimController(env, frames, self, kprobes,
+                                         registry=registry,
+                                         reclaim_page_cost=reclaim_page_cost)
+        frames.reclaimer = self.reclaim
 
     # -- lookup ---------------------------------------------------------------
     def lookup(self, ino: int, index: int) -> CacheEntry | None:
         entry = self._entries.get((ino, index))
         if entry is not None:
-            self._entries.move_to_end((ino, index))
+            self.reclaim.page_touched((ino, index))
         return entry
 
     def resident(self, ino: int, index: int) -> bool:
@@ -145,7 +168,7 @@ class PageCache:
     def cached_pages(self, ino: int | None = None) -> int:
         if ino is None:
             return len(self._entries)
-        return sum(1 for (e_ino, _i) in self._entries if e_ino == ino)
+        return self._ino_pages.get(ino, 0)
 
     # -- insertion (the kprobe hook point) -------------------------------------
     def add_to_page_cache_lru(self, file: File, index: int) -> tuple[CacheEntry, float]:
@@ -157,14 +180,15 @@ class PageCache:
         key = (file.ino, index)
         if key in self._entries:
             raise ValueError(f"page {key} already in cache")
-        try:
-            frame = self.frames.alloc(FILE, ino=file.ino, index=index)
-        except OutOfMemory:
-            self._reclaim(1)
-            frame = self.frames.alloc(FILE, ino=file.ino, index=index)
+        # The allocator consults the reclaim plane itself (watermark
+        # throttling, direct reclaim); OutOfMemory here means reclaim
+        # already tried and failed.
+        frame = self.frames.alloc(FILE, ino=file.ino, index=index)
         entry = CacheEntry(ino=file.ino, index=index, frame=frame,
                            io_event=self.env.event())
         self._entries[key] = entry
+        self._ino_pages[file.ino] = self._ino_pages.get(file.ino, 0) + 1
+        self.reclaim.page_added(key, entry)
         self.stats._adds.inc()
         cost = self.kprobes.fire(HOOK_ADD_TO_PAGE_CACHE,
                                  struct.pack("<QQ", file.ino, index))
@@ -173,14 +197,22 @@ class PageCache:
 
     # -- population -------------------------------------------------------------
     def populate(self, file: File, start: int, count: int,
-                 marker: int | None = None,
-                 prio: int = 0) -> tuple[float, list[CacheEntry]]:
+                 marker: int | None = None, prio: int = 0,
+                 speculative: bool = False,
+                 required: int | None = None) -> tuple[float, list[CacheEntry]]:
         """Insert all absent pages of [start, start+count) and start their I/O.
 
         Non-blocking: device reads are issued per contiguous absent run
         and completion callbacks mark the entries uptodate.  Returns the
         CPU cost (allocations + hook executions) and the new entries.
         Waiters use each entry's ``io_event``.
+
+        ``speculative`` marks readahead-class fills: if the frame pool is
+        exhausted mid-fill, the remaining speculative pages are skipped
+        (the fill degrades instead of killing the caller) — except
+        ``required``, the demand page the caller is actually faulting on,
+        which is still attempted and whose failure still raises
+        :class:`OutOfMemory`.  Reads already built are issued either way.
         """
         if count <= 0:
             return 0.0, []
@@ -191,10 +223,24 @@ class PageCache:
         new_entries: list[CacheEntry] = []
         run: list[CacheEntry] = []
         run_start = None
+        oom = False
         for index in range(start, start + count):
             present = (file.ino, index) in self._entries
+            if not present and oom and index != required:
+                continue
             if not present:
-                entry, add_cost = self.add_to_page_cache_lru(file, index)
+                try:
+                    entry, add_cost = self.add_to_page_cache_lru(file, index)
+                except OutOfMemory:
+                    if run:
+                        self._issue(file, run_start, run, prio)
+                        run, run_start = [], None
+                    if not speculative or index == required:
+                        raise
+                    if not oom:
+                        oom = True
+                        self.stats._ra_oom_aborts.inc()
+                    continue
                 cost += add_cost
                 new_entries.append(entry)
                 if marker is not None and index == marker:
@@ -274,8 +320,7 @@ class PageCache:
         retry, and surface EIO (SIGBUS-style) to current waiters."""
         self.stats._io_failures.inc()
         for entry in entries:
-            self._entries.pop((entry.ino, entry.index), None)
-            self.frames.free(entry.frame)
+            self._remove_entry(entry)
             event = entry.io_event
             entry.io_event = None
             if event is not None:
@@ -301,7 +346,8 @@ class PageCache:
         # device queue, exactly so that a sync fault is not stuck behind
         # a long prefetch stream.
         cost, _entries = self.populate(file, start, count,
-                                       prio=PRIO_READAHEAD)
+                                       prio=PRIO_READAHEAD,
+                                       speculative=True)
         return cost
 
     # -- blocking reads (buffered read() path) -----------------------------------
@@ -322,21 +368,29 @@ class PageCache:
         return cost
 
     # -- reclaim -----------------------------------------------------------------
+    def _remove_entry(self, entry: CacheEntry) -> None:
+        """Drop one entry from the radix tree, LRU lists, and per-ino
+        accounting, and free its frame (no eviction counter — callers
+        that reclaim use :meth:`evict_entry`)."""
+        key = (entry.ino, entry.index)
+        if self._entries.pop(key, None) is None:
+            return
+        self.reclaim.page_removed(key)
+        remaining = self._ino_pages.get(entry.ino, 0) - 1
+        if remaining > 0:
+            self._ino_pages[entry.ino] = remaining
+        else:
+            self._ino_pages.pop(entry.ino, None)
+        self.frames.free(entry.frame)
+
+    def evict_entry(self, entry: CacheEntry) -> None:
+        """Reclaim-plane eviction of one clean unmapped page."""
+        self._remove_entry(entry)
+        self.stats._evictions.inc()
+
     def _reclaim(self, need: int) -> None:
-        """Evict clean, unmapped, uptodate pages from the LRU head."""
-        freed = 0
-        for key in list(self._entries):
-            if freed >= need:
-                break
-            entry = self._entries[key]
-            if entry.uptodate and entry.frame.mapcount == 0:
-                del self._entries[key]
-                self.frames.free(entry.frame)
-                self.stats._evictions.inc()
-                freed += 1
-        if freed < need:
-            raise OutOfMemory("page cache reclaim could not free enough "
-                              "frames (all pages mapped or under I/O)")
+        """Synchronous direct reclaim (kept for callers of the old API)."""
+        self.reclaim.direct_reclaim(need)
 
     def drop_caches(self) -> int:
         """Drop every clean unmapped page (echo 1 > drop_caches); returns count."""
@@ -344,8 +398,7 @@ class PageCache:
         for key in list(self._entries):
             entry = self._entries[key]
             if entry.uptodate and entry.frame.mapcount == 0:
-                del self._entries[key]
-                self.frames.free(entry.frame)
+                self._remove_entry(entry)
                 dropped += 1
         return dropped
 
@@ -353,5 +406,4 @@ class PageCache:
         """Remove one entry (truncate path); must be unmapped and uptodate."""
         if entry.frame.mapcount != 0 or not entry.uptodate:
             raise ValueError("cannot forget a mapped or in-flight page")
-        del self._entries[(entry.ino, entry.index)]
-        self.frames.free(entry.frame)
+        self._remove_entry(entry)

@@ -87,6 +87,36 @@ def test_content_fidelity_end_to_end(tiny_profile):
         assert pte.frame.content == approach.snapshot.file.content(gfn)
 
 
+def test_prefetcher_survives_oom_and_counts_abort(prepared, tiny_profile):
+    """An exhausted frame pool mid-stream must abort the speculative
+    prefetch (counted), not kill the run — stragglers fall through to
+    the demand handler."""
+    from repro.mm.frames import OutOfMemory
+    from repro.vmm.microvm import GUEST_BASE_VPN, MicroVM
+
+    kernel, approach, _trace = prepared
+    uffd = kernel.new_uffd()
+    vm = MicroVM(kernel, approach.snapshot, vm_id="oom-vm")
+    vm.space.mmap(approach.snapshot.mem_pages, uffd=uffd,
+                  at=GUEST_BASE_VPN, name="guest-mem")
+
+    calls = {"n": 0}
+    real = vm.space.install_anon
+
+    def flaky(vpn, content=0, writable=True):
+        calls["n"] += 1
+        if calls["n"] == 3:
+            raise OutOfMemory("frame pool exhausted")
+        return real(vpn, content=content, writable=writable)
+
+    vm.space.install_anon = flaky
+    prefetch = kernel.env.process(approach._prefetcher(vm, uffd),
+                                  name="prefetch")
+    kernel.env.run(prefetch)  # raises if the generator died on the OOM
+    assert approach.prefetch_aborts == 1
+    assert vm.space.pte_present(vm.guest_vpn(approach._ws_order[0]))
+
+
 def test_table1_row():
     row = REAP.table1_row()
     assert row["mechanism"] == "userfaultfd"
