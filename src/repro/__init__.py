@@ -24,10 +24,13 @@ Layers (bottom-up):
 * :mod:`repro.baselines` — REAP, Faast, FaaSnap, Linux-RA/NoRA
 * :mod:`repro.workloads` — the 13 evaluated function models
 * :mod:`repro.harness` — scenario runner + figure/table regeneration
+* :mod:`repro.cluster` — multi-node fleet: gateway routing, autoscaling,
+  node-crash chaos
 """
 
 from repro.baselines import FaaSnap, Faast, LinuxNoRA, LinuxRA, REAP
 from repro.baselines.base import Approach, approach_registry
+from repro.cluster import ClusterSpec
 from repro.core import PVPTEsOnly, SnapBPF
 from repro.faults import FaultConfig, FaultSchedule, RetryPolicy
 from repro.harness.chaos import run_chaos_scenario, run_chaos_suite
@@ -50,6 +53,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Approach",
+    "ClusterSpec",
     "FaaSNode",
     "FaaSnap",
     "Faast",

@@ -17,6 +17,10 @@ Commands:
   trace FN APPROACH            run one scenario with span tracing on and
                                write a chrome://tracing-loadable JSON
                                (plus optional JSONL)
+  cluster FN [APPROACH]        run a multi-node fleet behind the routing
+                               gateway (--policy, --nodes, --autoscale,
+                               --node-crash-rate), or sweep routing
+                               policies x node counts with --fig
 
 ``run``, ``fig``, and ``chaos`` share the sweep flags: ``--jobs N``
 fans independent scenario cells out over N worker processes (results
@@ -32,6 +36,8 @@ Examples:
   python -m repro fig --all --jobs 4 --cache-dir .sweep-cache
   python -m repro chaos json snapbpf linux-ra --fault-seed 7
   python -m repro trace json snapbpf -o restore.json --jsonl spans.jsonl
+  python -m repro cluster json snapbpf --policy snapshot-locality --nodes 4
+  python -m repro cluster json --fig --jobs 4 --cache-dir .sweep-cache
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ import sys
 
 from repro import GIB, MIB, FUNCTIONS, approach_registry, profile_by_name, run_scenario
 from repro.core.policies import policy_names
+from repro.faults import FaultConfig
 from repro.harness import figures as F
 from repro.harness.chaos import DEFAULT_CHAOS, render_chaos, run_chaos_suite
 from repro.harness.experiment import ResultCache
@@ -208,6 +215,92 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    try:
+        profile = profile_by_name(args.function)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    from repro.cluster import ROUTING_POLICIES, ClusterSpec
+    from repro.cluster.runner import run_cluster
+
+    cluster_kwargs = dict(
+        n_functions=args.cluster_functions,
+        rate_per_function=args.rate, duration=args.duration,
+        warm_pool_ttl=args.warm_ttl)
+
+    if args.fig:
+        policies = args.policies.split(",")
+        for policy in policies:
+            if policy not in ROUTING_POLICIES:
+                print(f"error: unknown routing policy {policy!r}; choose "
+                      f"from {sorted(ROUTING_POLICIES)}", file=sys.stderr)
+                return 2
+        node_counts = [int(n) for n in args.node_counts.split(",")]
+        approaches = ([args.approach] if args.approach
+                      else list(F.FIGURE_MATRIX["cluster"][0]))
+        cache = ResultCache(store=_make_store(args))
+        runner = SweepRunner(cache, jobs=args.jobs)
+        runner.run([F.cluster_cell_spec(profile, a, policy, n,
+                                        **cluster_kwargs)
+                    for a in approaches for policy in policies
+                    for n in node_counts])
+        data = F.cluster_figure_data(cache, [profile], approaches,
+                                     policies=policies,
+                                     node_counts=node_counts,
+                                     **cluster_kwargs)
+        print(render_figure(data))
+        print(runner.last_stats.summary(), file=sys.stderr)
+        return 0
+
+    try:
+        cspec = ClusterSpec(
+            n_nodes=args.nodes, policy=args.policy,
+            autoscale=args.autoscale,
+            target_inflight=args.target_inflight,
+            min_nodes=args.min_nodes, max_nodes=args.max_nodes,
+            **cluster_kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    spec = ScenarioSpec(function=profile, approach=args.approach or "snapbpf",
+                        device_kind=args.device, cluster=cspec)
+    fault_config = None
+    if args.node_crash_rate:
+        try:
+            fault_config = dataclasses.replace(
+                FaultConfig(), node_crash_rate=args.node_crash_rate)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    report = run_cluster(spec, fault_config=fault_config,
+                         fault_seed=args.fault_seed)
+    print(f"{profile.name}/{spec.approach} cluster: {cspec}")
+    print(f"  requests      {report.requests:10d} "
+          f"(completed {report.completed}, timeouts {report.timeouts}, "
+          f"failures {report.failures})")
+    print(f"  cold starts   {report.cold_starts:10d} "
+          f"(ratio {report.cold_ratio:.3f}, warm {report.warm_starts})")
+    print(f"  latency       {report.mean_latency() * 1e3:10.1f} ms mean, "
+          f"p50/95/99 {report.percentile(50) * 1e3:.1f} / "
+          f"{report.percentile(95) * 1e3:.1f} / "
+          f"{report.percentile(99) * 1e3:.1f} ms")
+    peak_nodes = int(max((n for _, n in report.node_timeline), default=0))
+    print(f"  node seconds  {report.node_seconds():10.1f} "
+          f"(peak {peak_nodes} nodes)")
+    per_node = ", ".join(f"node{node}:{count}"
+                         for node, count in report.per_node_served().items())
+    print(f"  served/node   {per_node or '-':>10s}")
+    for key in ("cluster_scale_ups_total", "cluster_scale_downs_total",
+                "cluster_node_crashes_total", "cluster_crash_reroutes_total",
+                "cluster_rebalance_evictions_total",
+                "cluster_locality_overflow_routes"):
+        value = report.metrics.get(key, 0)
+        if value:
+            print(f"  {key:33s} {value:10.0f}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="SnapBPF reproduction harness")
@@ -295,10 +388,54 @@ def main(argv: list[str] | None = None) -> int:
     trace_parser.add_argument("--device", choices=("ssd", "hdd"),
                               default="ssd")
 
+    cluster_parser = sub.add_parser(
+        "cluster", help="run a multi-node fleet behind the routing gateway",
+        parents=[sweep_flags])
+    cluster_parser.add_argument("function", help="base function profile "
+                                "the cluster's function mix is cloned from")
+    cluster_parser.add_argument("approach", nargs="?", default=None,
+                                choices=sorted(approach_registry()),
+                                help="restore approach (default: snapbpf; "
+                                     "with --fig: all four figure columns)")
+    cluster_parser.add_argument("--fig", action="store_true",
+                                help="sweep --policies x --node-counts and "
+                                     "print the cold-start-ratio figure")
+    cluster_parser.add_argument("--policy", default="snapshot-locality",
+                                help="routing policy for a single run")
+    cluster_parser.add_argument("--nodes", type=int, default=2,
+                                help="fleet size for a single run")
+    cluster_parser.add_argument(
+        "--policies", default="random,round-robin,least-loaded,"
+                              "snapshot-locality",
+        help="comma-separated policies for --fig")
+    cluster_parser.add_argument("--node-counts", default="2,4",
+                                help="comma-separated fleet sizes for --fig")
+    cluster_parser.add_argument("--cluster-functions", type=int, default=4,
+                                metavar="N",
+                                help="function clones in the mix")
+    cluster_parser.add_argument("--rate", type=float, default=1.0,
+                                help="arrivals/second per function")
+    cluster_parser.add_argument("--duration", type=float, default=8.0,
+                                help="arrival-stream duration in seconds")
+    cluster_parser.add_argument("--warm-ttl", type=float, default=1.5,
+                                help="warm-pool TTL per node in seconds")
+    cluster_parser.add_argument("--autoscale", action="store_true",
+                                help="run the cluster autoscaler loop")
+    cluster_parser.add_argument("--target-inflight", type=float, default=4.0,
+                                help="scale-up threshold, in-flight per node")
+    cluster_parser.add_argument("--min-nodes", type=int, default=1)
+    cluster_parser.add_argument("--max-nodes", type=int, default=8)
+    cluster_parser.add_argument(
+        "--node-crash-rate", type=float, default=0.0,
+        help="probability a node is killed per crash opportunity")
+    cluster_parser.add_argument("--fault-seed", type=int, default=0)
+    cluster_parser.add_argument("--device", choices=("ssd", "hdd"),
+                                default="ssd")
+
     args = parser.parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "table1": cmd_table1,
-               "fig": cmd_fig, "chaos": cmd_chaos, "trace": cmd_trace}[
-        args.command]
+               "fig": cmd_fig, "chaos": cmd_chaos, "trace": cmd_trace,
+               "cluster": cmd_cluster}[args.command]
     return handler(args)
 
 

@@ -1,0 +1,105 @@
+"""`ClusterSpec` — the hashable description of one fleet-level run.
+
+A cluster scenario composes many :class:`~repro.platform.node.FaaSNode`
+hosts inside one DES engine behind a gateway.  Everything that
+determines the run's outcome beyond the base :class:`ScenarioSpec`
+fields — fleet size, routing policy, workload shape, warm-pool TTL,
+autoscaler knobs — lives here, so nesting a ``ClusterSpec`` inside a
+``ScenarioSpec`` keeps the spec a pure cache key: two equal specs
+produce byte-identical results whatever process ran them.
+
+The class is frozen and JSON-round-trippable (``canonical()`` /
+``from_dict()``), mirroring :class:`~repro.mm.costs.CostModel`, so the
+sweep engine's content-addressed store works unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.cluster.routing import ROUTING_POLICIES
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Fleet shape, routing policy, and workload for one cluster run."""
+
+    #: Nodes booted (and prepared) before the arrival stream starts.
+    n_nodes: int = 2
+    #: Routing policy name (see :data:`repro.cluster.routing.ROUTING_POLICIES`).
+    policy: str = "snapshot-locality"
+    #: Distinct functions cloned from the base profile (distinct names
+    #: and record seeds, same shape) — the per-function locality the
+    #: consistent-hash ring exploits.
+    n_functions: int = 4
+    #: Poisson arrival rate per function, requests/second.
+    rate_per_function: float = 1.0
+    #: Arrival-stream duration, seconds.
+    duration: float = 8.0
+    #: Warm-pool TTL per node (``None`` disables pooling: every request
+    #: is a cold start and routing can only move cache residency).
+    warm_pool_ttl: float | None = 1.5
+    #: Per-request wall-clock budget (``None`` = unbounded).
+    request_deadline: float | None = None
+    #: Run the autoscaler loop (off: the fleet stays at ``n_nodes``).
+    autoscale: bool = False
+    #: Scale up when mean in-flight per routable node exceeds this.
+    target_inflight: float = 4.0
+    min_nodes: int = 1
+    max_nodes: int = 8
+    #: Autoscaler evaluation period, seconds.
+    scale_interval: float = 0.5
+    #: Consecutive idle evaluations before a node is drained.
+    drain_idle_intervals: int = 4
+    #: Boot delay for a scaled-up node before its record phase runs.
+    node_boot_seconds: float = 0.5
+    #: snapshot-locality only: in-flight load on the ring-preferred node
+    #: past which the request overflows to the warmest other node.
+    overflow_inflight: int = 8
+
+    def __post_init__(self) -> None:
+        if self.policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.policy!r}; choose from "
+                f"{', '.join(sorted(ROUTING_POLICIES))}")
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.n_functions < 1:
+            raise ValueError(
+                f"n_functions must be >= 1, got {self.n_functions}")
+        if self.rate_per_function <= 0:
+            raise ValueError("rate_per_function must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.warm_pool_ttl is not None and self.warm_pool_ttl <= 0:
+            raise ValueError("warm_pool_ttl must be positive or None")
+        if self.request_deadline is not None and self.request_deadline <= 0:
+            raise ValueError("request_deadline must be positive or None")
+        if self.target_inflight <= 0:
+            raise ValueError("target_inflight must be positive")
+        if not 1 <= self.min_nodes <= self.max_nodes:
+            raise ValueError(
+                f"need 1 <= min_nodes <= max_nodes, got "
+                f"{self.min_nodes}..{self.max_nodes}")
+        if self.scale_interval <= 0:
+            raise ValueError("scale_interval must be positive")
+        if self.drain_idle_intervals < 1:
+            raise ValueError("drain_idle_intervals must be >= 1")
+        if self.node_boot_seconds < 0:
+            raise ValueError("node_boot_seconds must be >= 0")
+        if self.overflow_inflight < 1:
+            raise ValueError("overflow_inflight must be >= 1")
+
+    def canonical(self) -> dict:
+        """JSON-serializable dict with every outcome-determining field."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterSpec":
+        return cls(**data)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        auto = ", autoscale" if self.autoscale else ""
+        return (f"{self.policy} x{self.n_nodes} nodes, "
+                f"{self.n_functions} fns @ {self.rate_per_function}/s "
+                f"for {self.duration}s{auto}")

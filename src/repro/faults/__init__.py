@@ -15,7 +15,10 @@ that a whole chaos run is reproducible from a single RNG seed:
 * :class:`EbpfFaultInjector` — program attach/verify failures and map
   capacity exhaustion;
 * :class:`MemFaultInjector` — reclaim stalls delaying kswapd wakeups
-  on the :mod:`repro.mm.reclaim` memory-pressure plane.
+  on the :mod:`repro.mm.reclaim` memory-pressure plane;
+* :class:`NodeFaultInjector` — whole-node crashes consumed by the
+  cluster plane (:mod:`repro.cluster`), which fails the node's
+  in-flight requests and re-routes their retries to survivors.
 
 The degradation machinery that *consumes* faults lives with each layer
 (page-cache retry/backoff, SnapBPF's demand-paging fallback, node-level
@@ -37,6 +40,7 @@ from repro.faults.injectors import (
     EbpfFaultInjector,
     FileStoreFaultInjector,
     MemFaultInjector,
+    NodeFaultInjector,
 )
 
 __all__ = [
@@ -48,6 +52,7 @@ __all__ = [
     "FaultStats",
     "FileStoreFaultInjector",
     "MemFaultInjector",
+    "NodeFaultInjector",
     "PERSISTENT",
     "RetryPolicy",
     "TRANSIENT",

@@ -158,6 +158,45 @@ class MemFaultInjector:
         return self.config.reclaim_stall_seconds
 
 
+class NodeFaultInjector:
+    """Whole-node crashes for the cluster plane.
+
+    Like :class:`MemFaultInjector`, the crash count lives here as a
+    plain attribute rather than a :class:`FaultStats` field, so chaos
+    fingerprints of single-node configs (which embed the FaultStats key
+    set) stay byte-identical when the crash kind is inactive.
+    """
+
+    def __init__(self, rng: random.Random, config: FaultConfig,
+                 stats: FaultStats):
+        self.rng = rng
+        self.config = config
+        self.stats = stats
+        self._forced_crashes = 0
+        #: Crashes injected so far (surfaced via cluster_* metrics).
+        self.node_crashes = 0
+
+    def crash_next(self, n: int = 1) -> None:
+        """Force the next ``n`` crash draws to fire (tests)."""
+        self._forced_crashes += n
+
+    def draw_crash(self) -> bool:
+        """One crash opportunity (per node per crash-check tick).
+
+        One RNG draw per opportunity whenever a rate is configured, so
+        the stream stays aligned across runs regardless of outcomes."""
+        crash = False
+        if self._forced_crashes > 0:
+            self._forced_crashes -= 1
+            crash = True
+        elif (self.config.node_crash_rate
+                and self.rng.random() < self.config.node_crash_rate):
+            crash = True
+        if crash:
+            self.node_crashes += 1
+        return crash
+
+
 class EbpfFaultInjector:
     """BPF runtime failures: attach rejections and map-capacity caps."""
 

@@ -45,11 +45,17 @@ class FaultConfig:
     reclaim_stall_rate: float = 0.0
     #: Duration of one injected reclaim stall, in seconds.
     reclaim_stall_seconds: float = 500e-6
+    #: Probability that a node is killed at one crash opportunity (the
+    #: cluster plane rolls this per routable node per check interval;
+    #: single-node runs never draw from the stream, so rate 0 keeps
+    #: fingerprints byte-identical to earlier releases).
+    node_crash_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("media_error_rate", "persistent_fraction",
                      "latency_spike_rate", "torn_page_rate",
-                     "attach_failure_rate", "reclaim_stall_rate"):
+                     "attach_failure_rate", "reclaim_stall_rate",
+                     "node_crash_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
@@ -97,6 +103,7 @@ class FaultSchedule:
             EbpfFaultInjector,
             FileStoreFaultInjector,
             MemFaultInjector,
+            NodeFaultInjector,
         )
 
         self.stats = FaultStats()
@@ -108,6 +115,8 @@ class FaultSchedule:
             self._stream("ebpf"), self.config, self.stats)
         self.mm = MemFaultInjector(
             self._stream("mm"), self.config, self.stats)
+        self.node = NodeFaultInjector(
+            self._stream("node"), self.config, self.stats)
 
     def _stream(self, layer: str) -> random.Random:
         """An independent, layer-local RNG derived from the seed."""

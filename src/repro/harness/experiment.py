@@ -65,6 +65,14 @@ def run_scenario(spec: ScenarioSpec | FunctionProfile,
         if approach_factory is not None:
             raise TypeError("pass either a ScenarioSpec or the legacy "
                             "(profile, approach) pair, not both")
+        if spec.cluster is not None:
+            if kernel is not None:
+                raise TypeError("cluster scenarios build one kernel per "
+                                "node; the kernel argument is not usable")
+            # Deferred import: the cluster runner composes the platform
+            # stack on top of this module's layer.
+            from repro.cluster.runner import run_cluster_scenario
+            return run_cluster_scenario(spec)
         return _run_scenario(spec.function, spec.approach,
                              spec.n_instances, spec.input_seed,
                              spec.vary_inputs, spec.device_kind,

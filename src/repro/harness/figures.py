@@ -12,10 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.baselines.base import approach_registry
+from repro.cluster.spec import ClusterSpec
 from repro.harness.experiment import ResultCache
 from repro.harness.spec import ScenarioSpec
 from repro.units import GIB, PAGE_SIZE
-from repro.workloads.profile import FUNCTIONS, FunctionProfile
+from repro.workloads.profile import FUNCTIONS, FunctionProfile, profile_by_name
 
 # Ensure all approaches (incl. repro.core's) are registered on import.
 import repro.baselines  # noqa: F401
@@ -37,9 +38,30 @@ FIGURE_MATRIX: dict[str, tuple[tuple[str, ...], int]] = {
     "4": (("linux-ra", "pv-ptes", "snapbpf"), 1),
     "overheads": (("snapbpf",), 1),
     "mem": (("linux-ra", "reap", "snapbpf"), CONCURRENT_INSTANCES),
+    "cluster": (("linux-ra", "reap", "faasnap", "snapbpf"), 1),
 }
 
 FIGURES: tuple[str, ...] = tuple(FIGURE_MATRIX)
+
+#: The cluster figure's sweep axes: routing policy x fleet size.
+CLUSTER_POLICIES = ("random", "round-robin", "least-loaded",
+                    "snapshot-locality")
+CLUSTER_NODE_COUNTS = (2, 4)
+
+#: The cluster figure defaults to ONE base function (its cells are whole
+#: fleet simulations — 13 base functions x 32 cells would dwarf every
+#: other figure combined); pass ``functions=...`` to widen it.
+CLUSTER_BASE_FUNCTIONS = ("json",)
+
+
+def cluster_cell_spec(profile: FunctionProfile, approach: str,
+                      policy: str, n_nodes: int,
+                      **cluster_kwargs) -> ScenarioSpec:
+    """The canonical spec for one cluster-figure cell."""
+    return ScenarioSpec(
+        function=profile, approach=approach,
+        cluster=ClusterSpec(n_nodes=n_nodes, policy=policy,
+                            **cluster_kwargs))
 
 #: Approaches whose restore installs private anonymous frames via
 #: userfaultfd (per-VM, unreclaimable) rather than shared page-cache
@@ -85,6 +107,11 @@ def pressure_ram_bytes(profile: FunctionProfile, approach: str,
 def figure_specs(figure: str, functions=None) -> list[ScenarioSpec]:
     """Every scenario cell one figure needs, as sweepable specs."""
     approaches, n_instances = FIGURE_MATRIX[figure]
+    if figure == "cluster":
+        return [cluster_cell_spec(p, a, policy, n_nodes)
+                for p in _cluster_profiles(functions) for a in approaches
+                for policy in CLUSTER_POLICIES
+                for n_nodes in CLUSTER_NODE_COUNTS]
     if figure == "mem":
         return [
             ScenarioSpec(
@@ -137,6 +164,12 @@ def _profiles(functions) -> list[FunctionProfile]:
     by_name = {p.name: p for p in FUNCTIONS}
     return [p if isinstance(p, FunctionProfile) else by_name[p]
             for p in functions]
+
+
+def _cluster_profiles(functions) -> list[FunctionProfile]:
+    if functions is None:
+        return [profile_by_name(name) for name in CLUSTER_BASE_FUNCTIONS]
+    return _profiles(functions)
 
 
 def figure_3a(cache: ResultCache | None = None,
@@ -276,6 +309,40 @@ def figure_mem(cache: ResultCache | None = None,
     return data
 
 
+def cluster_figure_data(cache: ResultCache, profiles, approaches,
+                        policies=CLUSTER_POLICIES,
+                        node_counts=CLUSTER_NODE_COUNTS,
+                        **cluster_kwargs) -> FigureData:
+    """Cold-start ratio per (base function, policy, fleet size) row and
+    approach column — shared by :func:`figure_cluster` and the CLI's
+    ``cluster --fig`` mode (which narrows the axes)."""
+    rows = [(p, policy, n) for p in profiles
+            for policy in policies for n in node_counts]
+    data = FigureData(
+        figure="cluster", ylabel="cold-start ratio",
+        functions=[f"{p.name} {policy} n={n}" for p, policy, n in rows],
+        notes="snapshot-locality keeps each function's snapshot pages "
+              "hot on one node; random pays a cold cache per re-route")
+    for approach in approaches:
+        data.series[approach] = [
+            cache.get(cluster_cell_spec(p, approach, policy, n,
+                                        **cluster_kwargs))
+            .extra["cluster_cold_ratio"]
+            for p, policy, n in rows]
+    return data
+
+
+def figure_cluster(cache: ResultCache | None = None,
+                   functions=None) -> FigureData:
+    """Cluster figure: routing policy x fleet size sweep showing
+    snapshot-locality routing cutting the cold-start ratio versus
+    random spraying for every restore approach."""
+    cache = cache or ResultCache()
+    approaches, _ = FIGURE_MATRIX["cluster"]
+    return cluster_figure_data(cache, _cluster_profiles(functions),
+                               approaches)
+
+
 #: Builder function per figure name (shared by the CLI and benchmarks).
 FIGURE_BUILDERS = {
     "3a": figure_3a,
@@ -284,6 +351,7 @@ FIGURE_BUILDERS = {
     "4": figure_4,
     "overheads": overheads,
     "mem": figure_mem,
+    "cluster": figure_cluster,
 }
 
 

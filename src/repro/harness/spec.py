@@ -22,6 +22,7 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass
 
+from repro.cluster.spec import ClusterSpec
 from repro.mm.costs import CostModel
 from repro.workloads.profile import FunctionProfile, profile_by_name
 
@@ -30,7 +31,8 @@ from repro.workloads.profile import FunctionProfile, profile_by_name
 #: semantics change in a way that invalidates cached results.
 #: v2: memory-pressure plane (ram_bytes/evict_policy spec fields,
 #: end_anon/end_file result fields).
-SCHEMA_VERSION = 2
+#: v3: cluster plane (nested ClusterSpec field).
+SCHEMA_VERSION = 3
 
 _DEVICE_KINDS = ("ssd", "hdd")
 
@@ -60,6 +62,12 @@ class ScenarioSpec:
     #: Named eviction-policy BPF program (repro.core.policies) attached
     #: to the reclaim hook before the timed invocations; ``None`` = LRU.
     evict_policy: str | None = None
+    #: Fleet-level scenario (repro.cluster): when set, the run composes
+    #: ``cluster.n_nodes`` hosts behind a gateway instead of one kernel;
+    #: ``function`` becomes the base profile the cluster's function mix
+    #: is cloned from, and per-node knobs (device_kind, costs, ram_bytes,
+    #: evict_policy) apply to every node.
+    cluster: ClusterSpec | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.function, str):
@@ -88,6 +96,17 @@ class ScenarioSpec:
                 raise ValueError(
                     f"unknown eviction policy {self.evict_policy!r}; "
                     f"choose from {', '.join(sorted(POLICIES))}")
+        if isinstance(self.cluster, dict):
+            object.__setattr__(self, "cluster",
+                               ClusterSpec.from_dict(self.cluster))
+        if self.cluster is not None:
+            if not isinstance(self.cluster, ClusterSpec):
+                raise TypeError(f"cluster must be a ClusterSpec or None, "
+                                f"got {type(self.cluster).__name__}")
+            if self.n_instances != 1:
+                raise ValueError(
+                    "cluster scenarios drive concurrency through the "
+                    "arrival stream; n_instances must stay 1")
 
     # -- identity ------------------------------------------------------------
     @property
@@ -106,6 +125,8 @@ class ScenarioSpec:
             "costs": asdict(self.costs) if self.costs is not None else None,
             "ram_bytes": self.ram_bytes,
             "evict_policy": self.evict_policy,
+            "cluster": (self.cluster.canonical()
+                        if self.cluster is not None else None),
         }
 
     def stable_hash(self) -> str:
@@ -130,6 +151,8 @@ class ScenarioSpec:
             costs=CostModel(**costs) if costs is not None else None,
             ram_bytes=data.get("ram_bytes"),
             evict_policy=data.get("evict_policy"),
+            cluster=(ClusterSpec.from_dict(data["cluster"])
+                     if data.get("cluster") is not None else None),
         )
 
     def __str__(self) -> str:  # pragma: no cover - display helper
@@ -142,6 +165,9 @@ class ScenarioSpec:
             extras.append(f"ram={self.ram_bytes // (1 << 20)}MiB")
         if self.evict_policy is not None:
             extras.append(f"policy={self.evict_policy}")
+        if self.cluster is not None:
+            extras.append(f"cluster={self.cluster.policy}"
+                          f"x{self.cluster.n_nodes}")
         suffix = f" ({', '.join(extras)})" if extras else ""
         return (f"{self.function_name}/{self.approach} "
                 f"x{self.n_instances} [{self.device_kind}]{suffix}")

@@ -14,6 +14,7 @@ pay the cold-start path under test.
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass
 from typing import Callable
@@ -67,10 +68,14 @@ class NodeReport:
         return len(self.results) - self.cold_starts
 
     def percentile(self, p: float, cold: bool | None = None) -> float:
+        """Nearest-rank percentile: the smallest value with at least
+        ``p`` percent of the sample at or below it (so p=50 on 10 sorted
+        samples is the 5th value, index 4 — not index 5)."""
         values = sorted(self.latencies(cold))
         if not values:
             raise ValueError("no matching requests")
-        index = min(len(values) - 1, int(p / 100 * len(values)))
+        index = min(len(values) - 1,
+                    max(0, math.ceil(p / 100 * len(values)) - 1))
         return values[index]
 
     def mean_latency(self, cold: bool | None = None) -> float:
@@ -125,6 +130,24 @@ class FaaSNode:
         self._pool: dict[str, list[MicroVM]] = {p.name: [] for p in profiles}
         self._vm_seq = 0
         self.prepared = False
+        # Degradation counters, published on the machine's registry so
+        # node-level health shows up in the same Prometheus exposition
+        # as reclaim_* / sweep_* (names mirror NodeReport.fault_summary).
+        metrics = kernel.metrics
+        self._m_requests = metrics.counter(
+            "node_requests_total", "requests handled by this host")
+        self._m_completed = metrics.counter(
+            "node_requests_completed_total", "requests finishing ok")
+        self._m_retries = metrics.counter(
+            "node_request_retries_total", "cold-start retries after EIO")
+        self._m_timeouts = metrics.counter(
+            "node_request_timeouts_total", "requests past their deadline")
+        self._m_failures = metrics.counter(
+            "node_request_failures_total", "requests failed after retry")
+        self._m_cold = metrics.counter(
+            "node_cold_starts_total", "requests served by a cold start")
+        self._m_warm = metrics.counter(
+            "node_warm_starts_total", "requests served from the warm pool")
 
     # -- lifecycle ----------------------------------------------------------------
     def prepare(self):
@@ -190,6 +213,15 @@ class FaaSNode:
                 retries += 1
 
         latency = env.now - start
+        self._m_requests.inc()
+        self._m_retries.inc(retries)
+        (self._m_cold if cold else self._m_warm).inc()
+        if status == "ok":
+            self._m_completed.inc()
+        elif status == "timeout":
+            self._m_timeouts.inc()
+        else:
+            self._m_failures.inc()
         tracer = env.tracer
         if tracer is not None and tracer.enabled:
             tracer.complete(f"req {arrival.function}", "node", start,
@@ -286,6 +318,22 @@ class FaaSNode:
             results=[p.value for p in processes],
             memory_timeline=timeline,
             peak_memory_bytes=self.kernel.frames.peak_bytes)
+
+    def shutdown(self) -> int:
+        """Take the host out of service: tear down every parked sandbox
+        (warm pools expire immediately) and drop the page cache.
+
+        Returns the number of resident pages discarded — the locality
+        the fleet loses when this node goes away (the cluster plane
+        counts it as rebalance evictions).  In-flight attempts finish in
+        the background against the empty cache.
+        """
+        for pool in self._pool.values():
+            for vm in list(pool):
+                vm._parked = False
+                vm.teardown()
+            pool.clear()
+        return self.kernel.drop_caches()
 
     # -- introspection ---------------------------------------------------------------------
     def pooled_sandboxes(self, function: str) -> int:

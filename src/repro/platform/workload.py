@@ -35,6 +35,8 @@ def poisson_arrivals(mix: list[tuple[FunctionProfile, float]],
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
+    if not mix:
+        raise ValueError("mix must name at least one function")
     rng = random.Random(seed)
     arrivals: list[Arrival] = []
     for profile, rate in mix:

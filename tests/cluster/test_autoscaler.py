@@ -1,0 +1,105 @@
+"""Autoscaler control loop against a fake fleet (no kernels)."""
+
+from repro.cluster.autoscaler import ClusterAutoscaler
+from repro.cluster.gateway import BOOTING, DRAINING, RETIRED, UP, Gateway
+from repro.cluster.routing import make_routing_policy
+from repro.metrics.registry import MetricsRegistry
+from repro.sim import Environment
+
+
+class FakeFaaSNode:
+    """Duck-typed stand-in for FaaSNode: instant boot, 7 cached pages."""
+
+    def prepare(self):
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def shutdown(self):
+        return 7
+
+
+def make_cluster(**kwargs):
+    env = Environment()
+    gateway = Gateway(env, make_routing_policy("least-loaded"),
+                      registry=MetricsRegistry())
+    gateway.add_node(FakeFaaSNode(), state=UP)
+
+    def spawn_node():
+        return gateway.add_node(FakeFaaSNode(), state=BOOTING)
+
+    scaler = ClusterAutoscaler(env, gateway, spawn_node, **kwargs)
+    return env, gateway, scaler
+
+
+def test_scales_up_under_load():
+    env, gateway, scaler = make_cluster(target_inflight=2.0,
+                                        scale_interval=0.5,
+                                        node_boot_seconds=0.25, max_nodes=2)
+    gateway.nodes[0].inflight = 5
+    env.run(until=2.2)
+    assert scaler.scale_ups == 1
+    assert len(gateway.routable_nodes()) == 2
+    assert gateway.registry.get("cluster_scale_ups_total").value == 1
+
+
+def test_one_boot_at_a_time():
+    env, gateway, scaler = make_cluster(target_inflight=1.0,
+                                        scale_interval=0.5,
+                                        node_boot_seconds=5.0)
+    gateway.nodes[0].inflight = 50
+    env.run(until=3.2)  # several evaluations while the boot is in flight
+    assert scaler._booting == 1
+    assert len(gateway.nodes) == 2  # not one spawn per evaluation
+
+
+def test_respects_max_nodes():
+    env, gateway, scaler = make_cluster(target_inflight=0.5,
+                                        scale_interval=0.5,
+                                        node_boot_seconds=0.1, max_nodes=2)
+    gateway.nodes[0].inflight = 50
+    env.run(until=5.2)
+    assert len(gateway.live_nodes()) == 2
+
+
+def test_drains_and_retires_idle_node_down_to_min():
+    env, gateway, scaler = make_cluster(target_inflight=2.0,
+                                        scale_interval=0.5,
+                                        node_boot_seconds=0.25, max_nodes=2,
+                                        drain_idle_intervals=2, min_nodes=1)
+    gateway.nodes[0].inflight = 5
+    # Node 1 boots at 0.5+0.25, then sits idle (the fake fleet never
+    # routes to it), so two idle evaluations drain and retire it while
+    # the loaded original node survives as the stable core.
+    env.run(until=2.2)
+    assert scaler.scale_ups == 1
+    assert [n.node_id for n in gateway.routable_nodes()] == [0]
+    # The newest node was the victim and its pages count as evictions.
+    assert gateway.nodes[1].state == RETIRED
+    assert gateway.registry.get("cluster_scale_downs_total").value == 1
+    assert gateway.registry.get(
+        "cluster_rebalance_evictions_total").value == 7
+
+
+def test_draining_node_waits_for_inflight_work():
+    env, gateway, scaler = make_cluster(target_inflight=100.0,
+                                        scale_interval=0.5,
+                                        drain_idle_intervals=1, min_nodes=1)
+    busy = gateway.add_node(FakeFaaSNode(), state=UP)
+    env.run(until=0.7)
+    assert busy.state == DRAINING  # newest idle node gets drained
+    busy.inflight = 1  # a request routed just before the drain
+    env.run(until=3.2)
+    assert busy.state == DRAINING  # retire waits for the straggler
+    busy.inflight = 0
+    env.run(until=4.2)
+    assert busy.state == RETIRED
+
+
+def test_stop_halts_the_loop():
+    env, gateway, scaler = make_cluster(target_inflight=0.1,
+                                        scale_interval=0.5,
+                                        node_boot_seconds=0.1)
+    gateway.nodes[0].inflight = 50
+    scaler.stop()
+    env.run()  # drains with no further scaling activity
+    assert scaler.scale_ups == 0

@@ -1,0 +1,119 @@
+"""Routing policies against duck-typed fake node handles."""
+
+import pytest
+
+from repro.cluster.routing import (
+    ROUTING_POLICIES,
+    RoutingError,
+    SnapshotLocalityRouting,
+    make_routing_policy,
+)
+
+
+class FakeNode:
+    def __init__(self, node_id, inflight=0, residency=None):
+        self.node_id = node_id
+        self.inflight = inflight
+        self._residency = residency or {}
+
+    def snapshot_residency(self, function):
+        return self._residency.get(function, 0)
+
+
+def fleet(*inflights):
+    return [FakeNode(i, inflight=load) for i, load in enumerate(inflights)]
+
+
+def test_registry_names():
+    assert set(ROUTING_POLICIES) == {"random", "round-robin", "least-loaded",
+                                     "snapshot-locality"}
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError, match="unknown routing policy"):
+        make_routing_policy("sticky")
+
+
+def test_random_is_seeded_and_in_range():
+    nodes = fleet(0, 0, 0)
+    a = make_routing_policy("random", seed=7)
+    b = make_routing_policy("random", seed=7)
+    picks_a = [a.choose("fn", nodes).node_id for _ in range(20)]
+    picks_b = [b.choose("fn", nodes).node_id for _ in range(20)]
+    assert picks_a == picks_b
+    assert set(picks_a) <= {0, 1, 2}
+    assert len(set(picks_a)) > 1  # actually sprays
+
+
+def test_round_robin_rotates():
+    nodes = fleet(0, 0, 0)
+    policy = make_routing_policy("round-robin")
+    picks = [policy.choose("fn", nodes).node_id for _ in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_least_loaded_prefers_idle_then_lowest_id():
+    policy = make_routing_policy("least-loaded")
+    assert policy.choose("fn", fleet(3, 1, 2)).node_id == 1
+    assert policy.choose("fn", fleet(2, 2, 2)).node_id == 0
+
+
+def test_locality_is_sticky_per_function():
+    policy = make_routing_policy("snapshot-locality")
+    nodes = fleet(0, 0, 0, 0)
+    homes = {fn: policy.choose(fn, nodes).node_id
+             for fn in ("json-0", "json-1", "bert-0", "gzip-0")}
+    for fn, home in homes.items():
+        for _ in range(3):
+            assert policy.choose(fn, nodes).node_id == home
+
+
+def test_locality_remaps_only_moved_arcs_on_membership_change():
+    policy = make_routing_policy("snapshot-locality")
+    functions = [f"fn-{i}" for i in range(32)]
+    big = fleet(*([0] * 4))
+    before = {fn: policy.home(fn, big).node_id for fn in functions}
+    small = [n for n in big if n.node_id != 3]
+    after = {fn: policy.home(fn, small).node_id for fn in functions}
+    moved = [fn for fn in functions if after[fn] != before[fn]]
+    # Everything that moved had to move (its home vanished); functions
+    # homed elsewhere stay put — the consistent-hashing contract.
+    assert all(before[fn] == 3 for fn in moved)
+
+
+def test_locality_overflows_to_highest_residency():
+    policy = make_routing_policy("snapshot-locality", overflow_inflight=2)
+    nodes = fleet(0, 0, 0)
+    home = policy.choose("fn-x", nodes)
+    home.inflight = 2  # saturate the home node
+    others = [n for n in nodes if n is not home]
+    others[0]._residency["fn-x"] = 10
+    others[1]._residency["fn-x"] = 500
+    assert policy.choose("fn-x", nodes) is others[1]
+    assert policy.overflow_routes == 1
+
+
+def test_locality_single_node_never_overflows():
+    policy = make_routing_policy("snapshot-locality", overflow_inflight=1)
+    nodes = fleet(99)
+    assert policy.choose("fn", nodes) is nodes[0]
+    assert policy.overflow_routes == 0
+
+
+def test_locality_ring_is_balanced_enough():
+    policy = SnapshotLocalityRouting()
+    nodes = fleet(0, 0, 0, 0)
+    homes = [policy.home(f"fn-{i}", nodes).node_id for i in range(400)]
+    counts = [homes.count(i) for i in range(4)]
+    assert all(c > 0 for c in counts)  # every node owns some arc
+
+
+def test_gateway_raises_routing_error_when_empty():
+    from repro.cluster.gateway import Gateway
+    from repro.metrics.registry import MetricsRegistry
+    from repro.sim import Environment
+
+    gateway = Gateway(Environment(), make_routing_policy("random"),
+                      registry=MetricsRegistry())
+    with pytest.raises(RoutingError):
+        gateway.route("fn")

@@ -1,0 +1,81 @@
+"""ClusterSpec: validation, canonical form, and cache-key stability."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.harness.spec import ScenarioSpec
+from repro.workloads.profile import profile_by_name
+
+
+def test_defaults_are_valid():
+    spec = ClusterSpec()
+    assert spec.n_nodes == 2
+    assert spec.policy == "snapshot-locality"
+
+
+def test_rejects_unknown_policy():
+    with pytest.raises(ValueError, match="policy"):
+        ClusterSpec(policy="sticky")
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"n_nodes": 0},
+    {"n_functions": 0},
+    {"rate_per_function": 0.0},
+    {"duration": 0.0},
+    {"min_nodes": 0},
+    {"min_nodes": 5, "max_nodes": 2},
+    {"overflow_inflight": 0},
+])
+def test_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        ClusterSpec(**kwargs)
+
+
+def test_canonical_round_trip():
+    spec = ClusterSpec(n_nodes=3, policy="least-loaded", autoscale=True,
+                       max_nodes=5)
+    assert ClusterSpec.from_dict(spec.canonical()) == spec
+
+
+def test_is_hashable_and_frozen():
+    spec = ClusterSpec()
+    assert hash(spec) == hash(ClusterSpec())
+    with pytest.raises(Exception):
+        spec.n_nodes = 3
+
+
+def test_scenario_spec_nesting_and_dict_coercion():
+    cluster = ClusterSpec(n_nodes=3)
+    spec = ScenarioSpec(function=profile_by_name("json"), approach="snapbpf",
+                        cluster=cluster)
+    coerced = ScenarioSpec(function=profile_by_name("json"),
+                           approach="snapbpf",
+                           cluster=cluster.canonical())
+    assert coerced.cluster == cluster
+    assert coerced.stable_hash() == spec.stable_hash()
+    # Round trip through the serialized form keeps the cache key.
+    assert (ScenarioSpec.from_dict(spec.canonical()).stable_hash()
+            == spec.stable_hash())
+
+
+def test_cluster_field_changes_the_cache_key():
+    base = ScenarioSpec(function=profile_by_name("json"), approach="snapbpf")
+    clustered = ScenarioSpec(function=profile_by_name("json"),
+                             approach="snapbpf", cluster=ClusterSpec())
+    other = ScenarioSpec(function=profile_by_name("json"), approach="snapbpf",
+                         cluster=ClusterSpec(n_nodes=4))
+    assert len({base.stable_hash(), clustered.stable_hash(),
+                other.stable_hash()}) == 3
+
+
+def test_cluster_requires_single_instance():
+    with pytest.raises(ValueError, match="n_instances"):
+        ScenarioSpec(function=profile_by_name("json"), approach="snapbpf",
+                     n_instances=2, cluster=ClusterSpec())
+
+
+def test_cluster_type_checked():
+    with pytest.raises(TypeError, match="ClusterSpec"):
+        ScenarioSpec(function=profile_by_name("json"), approach="snapbpf",
+                     cluster="snapshot-locality")

@@ -66,3 +66,29 @@ def test_stats_snapshot_roundtrip():
     schedule.stats.torn_pages += 3
     assert schedule.stats.snapshot()["torn_pages"] == 3
     assert snap["torn_pages"] == 0  # snapshot is a copy
+
+
+def test_node_crash_rate_validated():
+    with pytest.raises(ValueError, match="node_crash_rate"):
+        FaultConfig(node_crash_rate=1.5)
+    with pytest.raises(ValueError, match="node_crash_rate"):
+        FaultConfig(node_crash_rate=-0.1)
+
+
+def test_node_injector_draws_and_counts():
+    schedule = FaultSchedule(seed=4,
+                             config=FaultConfig(node_crash_rate=1.0))
+    assert schedule.node.draw_crash() is True
+    assert schedule.node.node_crashes == 1
+    # The crash counter lives on the injector, NOT in FaultStats, so
+    # single-node chaos fingerprints stay byte-identical.
+    assert "node_crashes" not in schedule.stats.snapshot()
+
+
+def test_node_injector_forced_crashes():
+    schedule = FaultSchedule(seed=4, config=FaultConfig())
+    assert schedule.node.draw_crash() is False  # rate 0 never fires
+    schedule.node.crash_next(2)
+    assert schedule.node.draw_crash() is True
+    assert schedule.node.draw_crash() is True
+    assert schedule.node.draw_crash() is False

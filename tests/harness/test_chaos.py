@@ -139,3 +139,19 @@ def test_render_chaos_table(profile):
     text = render_chaos([result])
     assert "linux-ra" in text
     assert "fault seed 1" in text
+
+
+def test_node_crash_rate_keeps_single_node_fingerprints(profile):
+    """Single-node chaos never draws from the node-crash stream, so a
+    config that only adds ``node_crash_rate`` replays the exact same
+    fingerprint — pre-cluster chaos baselines stay byte-identical."""
+    import dataclasses
+
+    base = run_chaos_scenario(profile, "snapbpf", config=HOT,
+                              fault_seed=5, n_requests=3)
+    with_rate = run_chaos_scenario(
+        profile, "snapbpf",
+        config=dataclasses.replace(HOT, node_crash_rate=0.5),
+        fault_seed=5, n_requests=3)
+    assert base.fingerprint() == with_rate.fingerprint()
+    assert "node_crashes" not in base.fault_stats

@@ -147,3 +147,45 @@ def test_chaos_out_of_range_rate(capsys):
     assert main(["chaos", "json", "linux-nora",
                  "--media-error-rate", "2.0"]) == 2
     assert "media_error_rate" in capsys.readouterr().err
+
+
+def test_cluster_single_run(capsys):
+    assert main(["cluster", "json", "snapbpf", "--duration", "1",
+                 "--cluster-functions", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "json/snapbpf cluster" in out
+    assert "cold starts" in out and "served/node" in out
+
+
+def test_cluster_default_approach_is_snapbpf(capsys):
+    assert main(["cluster", "json", "--duration", "1",
+                 "--cluster-functions", "2", "--policy", "random"]) == 0
+    assert "json/snapbpf cluster: random x2" in capsys.readouterr().out
+
+
+def test_cluster_unknown_function(capsys):
+    assert main(["cluster", "nosuch"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cluster_bad_policy(capsys):
+    assert main(["cluster", "json", "--policy", "sticky",
+                 "--duration", "1"]) == 2
+    assert "policy" in capsys.readouterr().err
+
+
+def test_cluster_fig_bad_policy_list(capsys):
+    assert main(["cluster", "json", "--fig", "--policies",
+                 "random,bogus"]) == 2
+    assert "unknown routing policy" in capsys.readouterr().err
+
+
+def test_cluster_fig_smoke(capsys):
+    assert main(["cluster", "json", "snapbpf", "--fig",
+                 "--policies", "random,snapshot-locality",
+                 "--node-counts", "2", "--duration", "1",
+                 "--cluster-functions", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "cold-start ratio" in captured.out
+    assert "snapshot-locality" in captured.out
+    assert "sweep:" in captured.err

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.harness.experiment import make_kernel
-from repro.platform.node import FaaSNode
+from repro.platform.node import FaaSNode, NodeReport, RequestResult
 from repro.platform.workload import Arrival, poisson_arrivals
 from repro.units import MIB
 from repro.workloads.profile import FunctionProfile
@@ -103,3 +103,39 @@ def test_mixed_poisson_run_end_to_end(profiles):
     assert len(report.results) == len(arrivals)
     assert report.warm_starts > 0
     assert report.percentile(99) >= report.percentile(50)
+
+
+def test_percentile_nearest_rank_regression():
+    """Nearest-rank on 10 samples: p50 is the 5th value, not the 6th."""
+    results = [RequestResult(function="alpha", arrival_time=0.0,
+                             latency=float(v), cold=True, input_seed=0)
+               for v in range(1, 11)]
+    report = NodeReport(results=results, memory_timeline=[],
+                        peak_memory_bytes=0)
+    assert report.percentile(50) == 5.0
+    assert report.percentile(95) == 10.0
+    assert report.percentile(99) == 10.0
+    assert report.percentile(10) == 1.0
+    assert report.percentile(0) == 1.0   # clamps below the first rank
+    assert report.percentile(100) == 10.0
+
+
+def test_degradation_counters_in_text_exposition(profiles):
+    node = make_node(profiles, ttl=60.0)
+    arrivals = [Arrival(i * 0.3, "alpha", 0) for i in range(4)]
+    report = node.run(arrivals)
+    registry = node.kernel.metrics
+    exposition = registry.render()
+    # fault_summary() counters surface as node_* metrics alongside the
+    # kernel's other series in one Prometheus text exposition.
+    assert "node_requests_total 4" in exposition
+    assert "node_requests_completed_total 4" in exposition
+    assert "node_cold_starts_total 1" in exposition
+    assert "node_warm_starts_total 3" in exposition
+    assert "node_request_timeouts_total 0" in exposition
+    assert "node_request_failures_total 0" in exposition
+    summary = report.fault_summary()
+    assert registry.get("node_requests_completed_total").value == summary[
+        "completed"]
+    assert registry.get("node_request_retries_total").value == summary[
+        "request_retries"]

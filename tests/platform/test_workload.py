@@ -52,3 +52,12 @@ def test_validation():
         poisson_arrivals(mix, duration=0)
     with pytest.raises(ValueError):
         poisson_arrivals([(make_profile("a"), 0.0)], duration=1)
+
+
+def test_empty_mix_rejected():
+    with pytest.raises(ValueError, match="at least one function"):
+        poisson_arrivals([], duration=1.0)
+    # Both error paths stay independent: a bad duration is reported
+    # first, an empty mix on its own second.
+    with pytest.raises(ValueError, match="duration"):
+        poisson_arrivals([], duration=0.0)
