@@ -16,6 +16,12 @@ Environment knobs:
   REPRO_BENCH_CACHE_DIR=.sweep-cache  persist scenario results on disk;
                                     warm reruns simulate nothing
   REPRO_BENCH_NO_CACHE=1            ignore the cache dir for this run
+  REPRO_BENCH_TIMEOUT=300           per-cell deadline (seconds) for the
+                                    pre-sweep's supervisor
+  REPRO_BENCH_MAX_RETRIES=2         retries per cell for worker crashes
+                                    and deadline expiries
+  REPRO_BENCH_KEEP_GOING=1          quarantine permanently-failed cells
+                                    instead of aborting the pre-sweep
 """
 
 from __future__ import annotations
@@ -51,8 +57,16 @@ def cache() -> ResultCache:
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
     if jobs > 1:
         # Pre-sweep the whole figure matrix in parallel; the benchmarks
-        # then read every cell straight out of the warm cache.
-        runner = SweepRunner(cache, jobs=jobs)
+        # then read every cell straight out of the warm cache.  The
+        # supervisor checkpoints each cell as it finishes, so a killed
+        # bench run resumes from the store instead of starting over.
+        timeout_env = os.environ.get("REPRO_BENCH_TIMEOUT")
+        runner = SweepRunner(
+            cache, jobs=jobs,
+            timeout=float(timeout_env) if timeout_env else None,
+            max_retries=int(os.environ.get("REPRO_BENCH_MAX_RETRIES",
+                                           "2") or "2"),
+            keep_going=bool(os.environ.get("REPRO_BENCH_KEEP_GOING")))
         # The cluster figure's cells are whole fleet simulations no
         # benchmark consumes; prewarm only the figures measured here.
         figures = [f for f in FIGURES if f != "cluster"]

@@ -22,11 +22,20 @@ Commands:
                                --node-crash-rate), or sweep routing
                                policies x node counts with --fig
 
-``run``, ``fig``, and ``chaos`` share the sweep flags: ``--jobs N``
-fans independent scenario cells out over N worker processes (results
-are byte-identical for every N), ``--cache-dir DIR`` persists finished
-cells in a content-addressed store so warm reruns execute zero
-simulations, and ``--no-cache`` ignores the store for one invocation.
+``run``, ``fig``, ``chaos``, and ``cluster`` share the sweep flags:
+``--jobs N`` fans independent scenario cells out over N worker
+processes (results are byte-identical for every N), ``--cache-dir DIR``
+persists each finished cell in a content-addressed store *as it
+completes* so interrupted or warm reruns resume from exactly what was
+already computed, and ``--no-cache`` ignores the store for one
+invocation.  The supervisor flags ride along everywhere: ``--timeout``
+puts a deadline on every cell, ``--max-retries`` bounds retries for
+worker crashes and timeouts, ``--keep-going`` finishes the sweep and
+reports permanently-failed cells in a failure manifest
+(``--failure-manifest PATH``) instead of aborting, and the
+``--sweep-kill-rate``/``--sweep-hang-rate``/``--sweep-tear-rate``
+chaos knobs SIGKILL workers, hang cells past their deadline, and tear
+store writes to prove all of the above works.
 
 Examples:
   python -m repro run bert snapbpf -n 10
@@ -34,6 +43,9 @@ Examples:
   python -m repro fig 3c --functions bfs,bert
   python -m repro fig mem --functions json
   python -m repro fig --all --jobs 4 --cache-dir .sweep-cache
+  python -m repro fig --all --jobs 4 --timeout 300 --keep-going \\
+      --failure-manifest failures.json --cache-dir .sweep-cache
+  python -m repro fig 3a --jobs 2 --sweep-kill-rate 0.5 --max-retries 3
   python -m repro chaos json snapbpf linux-ra --fault-seed 7
   python -m repro trace json snapbpf -o restore.json --jsonl spans.jsonl
   python -m repro cluster json snapbpf --policy snapshot-locality --nodes 4
@@ -48,13 +60,19 @@ import sys
 
 from repro import GIB, MIB, FUNCTIONS, approach_registry, profile_by_name, run_scenario
 from repro.core.policies import policy_names
-from repro.faults import FaultConfig
+from repro.faults import FaultConfig, SweepFaultInjector
 from repro.harness import figures as F
 from repro.harness.chaos import DEFAULT_CHAOS, render_chaos, run_chaos_suite
 from repro.harness.experiment import ResultCache
 from repro.harness.report import render_figure, render_table1
 from repro.harness.spec import ScenarioSpec
-from repro.harness.sweep import ResultStore, SweepRunner
+from repro.harness.sweep import (
+    ResultStore,
+    SweepFailure,
+    SweepInterrupted,
+    SweepRunner,
+    write_failure_manifest,
+)
 
 
 def cmd_list(_args) -> int:
@@ -77,6 +95,40 @@ def _make_store(args) -> ResultStore | None:
     return ResultStore(args.cache_dir)
 
 
+def _make_injector(args) -> SweepFaultInjector | None:
+    """The --sweep-*-rate chaos flags, resolved to an injector."""
+    if not (args.sweep_kill_rate or args.sweep_hang_rate
+            or args.sweep_tear_rate):
+        return None
+    hang_seconds = 30.0
+    if args.timeout is not None:
+        # Hangs only matter relative to the deadline; outlive it.
+        hang_seconds = max(hang_seconds, 2.0 * args.timeout)
+    return SweepFaultInjector(
+        seed=args.sweep_fault_seed, kill_rate=args.sweep_kill_rate,
+        hang_rate=args.sweep_hang_rate, hang_seconds=hang_seconds,
+        tear_rate=args.sweep_tear_rate)
+
+
+def _make_runner(args, cache: ResultCache) -> SweepRunner:
+    """A SweepRunner wired up from the shared supervision flags."""
+    return SweepRunner(cache, jobs=args.jobs, timeout=args.timeout,
+                       max_retries=args.max_retries,
+                       keep_going=args.keep_going,
+                       injector=_make_injector(args))
+
+
+def _sweep(runner: SweepRunner, specs, args) -> dict:
+    """Run specs through the supervisor, honoring --failure-manifest
+    whatever the outcome (an empty manifest is evidence of a clean
+    sweep; a partial one is the resume/debugging artifact)."""
+    try:
+        return runner.run(specs)
+    finally:
+        if getattr(args, "failure_manifest", None):
+            runner.write_manifest(args.failure_manifest)
+
+
 def cmd_run(args) -> int:
     try:
         profile = profile_by_name(args.function)
@@ -91,12 +143,11 @@ def cmd_run(args) -> int:
                                    if args.ram_gib else None),
                         evict_policy=args.evict_policy)
     cache = ResultCache(store=_make_store(args))
-    try:
-        result = cache.get(spec)
-    except MemoryError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        print("hint: the frame pool cannot hold the scenario's pinned "
-              "anonymous footprint; raise --ram-gib", file=sys.stderr)
+    runner = _make_runner(args, cache)
+    result = _sweep(runner, [spec], args).get(spec)
+    if result is None:
+        print("error: scenario quarantined; see the failure manifest",
+              file=sys.stderr)
         return 1
     if cache.store is not None:
         origin = "hit" if cache.disk_hits else "simulated, stored"
@@ -134,8 +185,11 @@ def cmd_fig(args) -> int:
         return 2
     functions = args.functions.split(",") if args.functions else None
     cache = ResultCache(store=_make_store(args))
-    runner = SweepRunner(cache, jobs=args.jobs)
-    runner.run(F.matrix_specs(figures, functions))
+    runner = _make_runner(args, cache)
+    _sweep(runner, F.matrix_specs(figures, functions), args)
+    if runner.last_manifest:
+        print(f"warning: {len(runner.last_manifest)} cell(s) quarantined; "
+              f"figures will re-attempt them inline", file=sys.stderr)
     for figure in figures:
         print(render_figure(F.build_figure(figure, cache,
                                            functions=functions)))
@@ -170,6 +224,7 @@ def cmd_chaos(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    failures: list = []
     results = run_chaos_suite(profile, approaches, config=config,
                               fault_seed=args.fault_seed,
                               n_requests=args.requests,
@@ -177,7 +232,17 @@ def cmd_chaos(args) -> int:
                               device_kind=args.device,
                               ram_bytes=(int(args.ram_gib * GIB)
                                          if args.ram_gib else None),
-                              jobs=args.jobs, store=_make_store(args))
+                              jobs=args.jobs, store=_make_store(args),
+                              timeout=args.timeout,
+                              max_retries=args.max_retries,
+                              keep_going=args.keep_going,
+                              injector=_make_injector(args),
+                              failures_out=failures)
+    if args.failure_manifest:
+        write_failure_manifest(args.failure_manifest, failures)
+    if failures:
+        print(f"warning: {len(failures)} chaos cell(s) quarantined",
+              file=sys.stderr)
     print(render_chaos(results))
     return 0
 
@@ -240,11 +305,11 @@ def cmd_cluster(args) -> int:
         approaches = ([args.approach] if args.approach
                       else list(F.FIGURE_MATRIX["cluster"][0]))
         cache = ResultCache(store=_make_store(args))
-        runner = SweepRunner(cache, jobs=args.jobs)
-        runner.run([F.cluster_cell_spec(profile, a, policy, n,
-                                        **cluster_kwargs)
-                    for a in approaches for policy in policies
-                    for n in node_counts])
+        runner = _make_runner(args, cache)
+        _sweep(runner, [F.cluster_cell_spec(profile, a, policy, n,
+                                            **cluster_kwargs)
+                        for a in approaches for policy in policies
+                        for n in node_counts], args)
         data = F.cluster_figure_data(cache, [profile], approaches,
                                      policies=policies,
                                      node_counts=node_counts,
@@ -306,7 +371,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro", description="SnapBPF reproduction harness")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    # Sweep flags shared by run/fig/chaos (same semantics everywhere).
+    # Sweep flags shared by run/fig/chaos/cluster (same semantics
+    # everywhere).
     sweep_flags = argparse.ArgumentParser(add_help=False)
     sweep_flags.add_argument(
         "-j", "--jobs", type=int, default=1,
@@ -314,11 +380,43 @@ def main(argv: list[str] | None = None) -> int:
              "(any value yields byte-identical results)")
     sweep_flags.add_argument(
         "--cache-dir", default=None, metavar="DIR",
-        help="persist finished cells in a content-addressed store; "
-             "warm reruns execute zero simulations")
+        help="persist each finished cell in a content-addressed store "
+             "as it completes; interrupted and warm reruns resume from "
+             "what is already there")
     sweep_flags.add_argument(
         "--no-cache", action="store_true",
         help="ignore --cache-dir for this invocation")
+    sweep_flags.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell deadline; a cell that exceeds it is torn down "
+             "and retried (default: unbounded)")
+    sweep_flags.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per cell for transient failures (worker crashes, "
+             "deadline expiries) beyond the first attempt (default: 2)")
+    sweep_flags.add_argument(
+        "--keep-going", action="store_true",
+        help="finish the sweep and report permanently-failed cells in "
+             "the failure manifest instead of aborting on the first one")
+    sweep_flags.add_argument(
+        "--failure-manifest", default=None, metavar="PATH",
+        help="write the failure manifest (spec hashes + last errors) "
+             "here, even when empty")
+    sweep_flags.add_argument(
+        "--sweep-kill-rate", type=float, default=0.0, metavar="RATE",
+        help="chaos: probability a cell's first attempt SIGKILLs its "
+             "worker (retries run clean)")
+    sweep_flags.add_argument(
+        "--sweep-hang-rate", type=float, default=0.0, metavar="RATE",
+        help="chaos: probability a cell's first attempt hangs past the "
+             "--timeout deadline")
+    sweep_flags.add_argument(
+        "--sweep-tear-rate", type=float, default=0.0, metavar="RATE",
+        help="chaos: probability a finished cell's store write is torn "
+             "mid-file (the next load quarantines it)")
+    sweep_flags.add_argument(
+        "--sweep-fault-seed", type=int, default=0,
+        help="seed for the --sweep-*-rate chaos draws")
 
     sub.add_parser("list", help="list functions and approaches")
 
@@ -433,10 +531,30 @@ def main(argv: list[str] | None = None) -> int:
                                 default="ssd")
 
     args = parser.parse_args(argv)
+    if hasattr(args, "sweep_kill_rate"):
+        try:
+            _make_injector(args)  # validates the --sweep-*-rate flags
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     handler = {"list": cmd_list, "run": cmd_run, "table1": cmd_table1,
                "fig": cmd_fig, "chaos": cmd_chaos, "trace": cmd_trace,
                "cluster": cmd_cluster}[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except SweepFailure as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if "MemoryError" in str(exc):
+            print("hint: the frame pool cannot hold the scenario's pinned "
+                  "anonymous footprint; raise --ram-gib", file=sys.stderr)
+        else:
+            print("hint: completed cells are checkpointed; rerun with "
+                  "--keep-going (and --failure-manifest PATH) to finish "
+                  "everything else", file=sys.stderr)
+        return 1
+    except SweepInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -18,7 +18,11 @@ that a whole chaos run is reproducible from a single RNG seed:
   on the :mod:`repro.mm.reclaim` memory-pressure plane;
 * :class:`NodeFaultInjector` — whole-node crashes consumed by the
   cluster plane (:mod:`repro.cluster`), which fails the node's
-  in-flight requests and re-routes their retries to survivors.
+  in-flight requests and re-routes their retries to survivors;
+* :class:`SweepFaultInjector` — faults for the *harness itself*:
+  SIGKILLed sweep workers, cells hanging past their deadline, and torn
+  result-store writes, consumed by the supervising executor in
+  :mod:`repro.harness.sweep`.
 
 The degradation machinery that *consumes* faults lives with each layer
 (page-cache retry/backoff, SnapBPF's demand-paging fallback, node-level
@@ -42,6 +46,12 @@ from repro.faults.injectors import (
     MemFaultInjector,
     NodeFaultInjector,
 )
+from repro.faults.sweep import (
+    SweepFaultInjector,
+    WorkerCrashError,
+    WorkerFault,
+    apply_worker_fault,
+)
 
 __all__ = [
     "DeviceFaultDecision",
@@ -55,5 +65,9 @@ __all__ = [
     "NodeFaultInjector",
     "PERSISTENT",
     "RetryPolicy",
+    "SweepFaultInjector",
     "TRANSIENT",
+    "WorkerCrashError",
+    "WorkerFault",
+    "apply_worker_fault",
 ]

@@ -1,0 +1,167 @@
+"""Runner-level chaos: faults for the sweep supervisor itself.
+
+The other injectors in this package live *inside* the simulation; this
+one attacks the harness that runs it — the worker processes of
+:class:`~repro.harness.sweep.SweepRunner` and the on-disk
+:class:`~repro.harness.sweep.ResultStore`.  Three fault kinds:
+
+* **worker kills** — the worker executing a cell SIGKILLs itself before
+  running the scenario, so the parent sees ``BrokenProcessPool`` exactly
+  as it would for a real OOM-killed worker (in serial mode the
+  supervisor raises :class:`WorkerCrashError` instead, since killing the
+  only process would end the sweep rather than exercise it);
+* **hangs** — the worker sleeps past the supervisor's deadline before
+  executing, driving the timeout/teardown/retry path;
+* **store tears** — a completed cell's store file is truncated mid-JSON
+  right after the atomic write, modeling a torn write that the next
+  load must quarantine rather than trust.
+
+Every decision is a pure function of ``(seed, key, attempt)`` — the
+injector holds no RNG stream state — so a chaos sweep is reproducible
+regardless of worker scheduling, completion order, or job count.  By
+default rate-based faults fire on a cell's *first* attempt only
+(``first_attempt_only=True``): retries run clean, so a faulted sweep
+always terminates and its results stay byte-identical to an unfaulted
+run.  The ``*_next`` forcing hooks bypass that guard, letting tests
+stage poison cells that fail every attempt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass
+
+
+class WorkerCrashError(RuntimeError):
+    """Serial-mode stand-in for a SIGKILLed worker process."""
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """What should happen to the worker before it runs one cell.
+
+    Shipped to the worker inside the task payload (it must pickle), and
+    applied by :func:`apply_worker_fault` before the cell body runs.
+    """
+
+    #: SIGKILL the worker process (parent sees ``BrokenProcessPool``).
+    kill: bool = False
+    #: Sleep this long before executing (drives the deadline path).
+    hang_seconds: float = 0.0
+
+
+def apply_worker_fault(fault: WorkerFault | None) -> None:
+    """Worker-side: enact a planned fault before running the cell."""
+    if fault is None:
+        return
+    if fault.kill:
+        os.kill(os.getpid(), signal.SIGKILL)
+    if fault.hang_seconds > 0:
+        time.sleep(fault.hang_seconds)
+
+
+class SweepFaultInjector:
+    """Plans worker kills, hangs, and store tears for one sweep.
+
+    The supervisor consults :meth:`plan` parent-side before submitting
+    each attempt, and :class:`~repro.harness.sweep.ResultStore` consults
+    :meth:`on_store_write` after each save.  Counters (``worker_kills``,
+    ``hangs``, ``store_tears``) record what was *planned*; the
+    supervisor's own metrics record what actually happened.
+    """
+
+    def __init__(self, seed: int = 0, kill_rate: float = 0.0,
+                 hang_rate: float = 0.0, hang_seconds: float = 30.0,
+                 tear_rate: float = 0.0,
+                 first_attempt_only: bool = True) -> None:
+        for name, rate in (("kill_rate", kill_rate),
+                           ("hang_rate", hang_rate),
+                           ("tear_rate", tear_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if hang_seconds < 0:
+            raise ValueError("hang_seconds must be >= 0")
+        self.seed = seed
+        self.kill_rate = kill_rate
+        self.hang_rate = hang_rate
+        self.hang_seconds = hang_seconds
+        self.tear_rate = tear_rate
+        self.first_attempt_only = first_attempt_only
+        #: Planned-fault counts (parent-side).
+        self.worker_kills = 0
+        self.hangs = 0
+        self.store_tears = 0
+        self._forced_kills = 0
+        self._forced_hangs = 0
+        self._forced_tears = 0
+        self._torn_keys: set[str] = set()
+
+    # -- forcing hooks (tests) ----------------------------------------------
+    def kill_next(self, n: int = 1) -> None:
+        """Force the next ``n`` planned attempts to kill their worker."""
+        self._forced_kills += n
+
+    def hang_next(self, n: int = 1) -> None:
+        """Force the next ``n`` planned attempts to hang."""
+        self._forced_hangs += n
+
+    def tear_next(self, n: int = 1) -> None:
+        """Force the next ``n`` store writes to be torn."""
+        self._forced_tears += n
+
+    # -- deterministic draws ------------------------------------------------
+    def _draw(self, kind: str, key: str, attempt: int) -> float:
+        material = f"{self.seed}:{kind}:{key}:{attempt}".encode()
+        digest = hashlib.sha256(material).digest()
+        return random.Random(int.from_bytes(digest[:8], "big")).random()
+
+    def _rate_applies(self, attempt: int) -> bool:
+        return attempt == 1 or not self.first_attempt_only
+
+    def plan(self, key: str, attempt: int) -> WorkerFault | None:
+        """Decide one attempt's fate (``attempt`` is 1-based)."""
+        kill = hang = False
+        if self._forced_kills > 0:
+            self._forced_kills -= 1
+            kill = True
+        elif (self.kill_rate and self._rate_applies(attempt)
+                and self._draw("kill", key, attempt) < self.kill_rate):
+            kill = True
+        if not kill:
+            if self._forced_hangs > 0:
+                self._forced_hangs -= 1
+                hang = True
+            elif (self.hang_rate and self._rate_applies(attempt)
+                    and self._draw("hang", key, attempt) < self.hang_rate):
+                hang = True
+        if kill:
+            self.worker_kills += 1
+            return WorkerFault(kill=True)
+        if hang:
+            self.hangs += 1
+            return WorkerFault(hang_seconds=self.hang_seconds)
+        return None
+
+    def on_store_write(self, key: str) -> bool:
+        """Whether the store file just written for ``key`` gets torn.
+
+        With ``first_attempt_only`` each key is torn at most once, so a
+        re-executed cell's second write survives and reruns converge.
+        """
+        if self._forced_tears > 0:
+            self._forced_tears -= 1
+            self.store_tears += 1
+            return True
+        if not self.tear_rate:
+            return False
+        if self.first_attempt_only and key in self._torn_keys:
+            return False
+        if self._draw("tear", key, 1) < self.tear_rate:
+            self._torn_keys.add(key)
+            self.store_tears += 1
+            return True
+        return False

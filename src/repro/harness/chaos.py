@@ -237,6 +237,15 @@ def _chaos_cell(args: tuple) -> ChaosResult:
         device_kind=device_kind, costs=costs, ram_bytes=ram_bytes)
 
 
+def _supervised_chaos_cell(payload) -> ChaosResult:
+    """Supervised worker entrypoint: ``(args, fault)`` pairs."""
+    from repro.faults.sweep import apply_worker_fault
+
+    args, fault = payload
+    apply_worker_fault(fault)
+    return _chaos_cell(args)
+
+
 def run_chaos_suite(profile: FunctionProfile, approaches: list[str],
                     config: FaultConfig = DEFAULT_CHAOS,
                     fault_seed: int = 0, n_requests: int = 8,
@@ -246,21 +255,32 @@ def run_chaos_suite(profile: FunctionProfile, approaches: list[str],
                     device_kind: str = "ssd",
                     costs: CostModel | None = None,
                     jobs: int = 1, store=None,
-                    ram_bytes: int | None = None) -> list[ChaosResult]:
-    """One chaos run per approach, optionally across worker processes.
+                    ram_bytes: int | None = None,
+                    timeout: float | None = None,
+                    max_retries: int = 2,
+                    keep_going: bool = False,
+                    injector=None,
+                    failures_out: list | None = None) -> list[ChaosResult]:
+    """One chaos run per approach, supervised across worker processes.
 
     Each cell is an independent pure function of its arguments (a fresh
     kernel, its own seeded schedule), so any job count yields the exact
     serial fingerprints.  With a ``store``
-    (:class:`~repro.harness.sweep.ResultStore`), finished cells persist
-    under :func:`chaos_key` and warm reruns replay from disk.
+    (:class:`~repro.harness.sweep.ResultStore`), each finished cell
+    persists under :func:`chaos_key` *as it completes* and warm reruns
+    replay from disk.  ``timeout``/``max_retries``/``keep_going`` and
+    ``injector`` have :func:`~repro.harness.sweep.supervised_map`
+    semantics; with ``keep_going`` permanently-failed cells are dropped
+    from the returned list and appended to ``failures_out``.
     """
-    from repro.harness.sweep import parallel_map
+    from repro.harness.sweep import SweepCell, supervised_map
 
     keys = [chaos_key(profile, name, config, fault_seed, n_requests,
                       interval, warm_pool_ttl, request_deadline,
                       device_kind, costs, ram_bytes)
             for name in approaches]
+    if store is not None and injector is not None:
+        store.fault_injector = injector
     results: dict[int, ChaosResult] = {}
     if store is not None:
         for i, key in enumerate(keys):
@@ -269,16 +289,30 @@ def run_chaos_suite(profile: FunctionProfile, approaches: list[str],
                 try:
                     results[i] = ChaosResult.from_dict(payload)
                 except (KeyError, TypeError, ValueError):
-                    pass
+                    store.quarantine(key)
     missing = [i for i in range(len(approaches)) if i not in results]
-    cells = [(profile, approaches[i], config, fault_seed, n_requests,
+    cells = [SweepCell(
+        index=i,
+        item=(profile, approaches[i], config, fault_seed, n_requests,
               interval, warm_pool_ttl, request_deadline, device_kind,
-              costs, ram_bytes) for i in missing]
-    for i, result in zip(missing, parallel_map(_chaos_cell, cells, jobs)):
-        results[i] = result
+              costs, ram_bytes),
+        key=keys[i], label=f"chaos:{profile.name}/{approaches[i]}",
+        spec={"kind": "chaos", "function": profile.name,
+              "approach": approaches[i], "fault_seed": fault_seed})
+        for i in missing]
+
+    def deliver(cell, result: ChaosResult) -> None:
+        results[cell.index] = result
         if store is not None:
-            store.save(keys[i], result.to_dict(), kind="chaos")
-    return [results[i] for i in range(len(approaches))]
+            store.save(keys[cell.index], result.to_dict(), kind="chaos")
+
+    _, failures = supervised_map(
+        _supervised_chaos_cell, cells, jobs, timeout=timeout,
+        max_retries=max_retries, keep_going=keep_going,
+        injector=injector, deliver=deliver)
+    if failures_out is not None:
+        failures_out.extend(failures)
+    return [results[i] for i in range(len(approaches)) if i in results]
 
 
 def chaos_rows(results: list[ChaosResult]) -> list[list[str]]:

@@ -256,6 +256,12 @@ class ResultCache:
             "sweep_cache_hits_disk_total", "lookups served from the store")
         self._executed = self.metrics.counter(
             "sweep_scenarios_executed_total", "scenarios actually simulated")
+        if store is not None and hasattr(store, "corrupt_entries"):
+            # The store keeps a plain attribute (it may be shared across
+            # worker processes and caches); publish it as a collector so
+            # snapshots always see the live count.
+            self.metrics.register_collector(lambda: {
+                "store_corrupt_entries_total": float(store.corrupt_entries)})
 
     # -- counters (read by the sweep engine and tests) ----------------------
     @property

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.faults import FaultConfig
+from repro.faults import FaultConfig, SweepFaultInjector, WorkerFault
 from repro.harness.chaos import (
     DEFAULT_CHAOS,
     ChaosResult,
@@ -155,3 +155,41 @@ def test_node_crash_rate_keeps_single_node_fingerprints(profile):
         fault_seed=5, n_requests=3)
     assert base.fingerprint() == with_rate.fingerprint()
     assert "node_crashes" not in base.fault_stats
+
+
+def test_supervised_suite_recovers_from_worker_kills(profile):
+    """Chaos cells killed by the runner-level injector are retried and
+    reproduce the serial, unfaulted fingerprints."""
+    approaches = ["snapbpf", "reap"]
+    clean = run_chaos_suite(profile, approaches, config=HOT,
+                            fault_seed=5, n_requests=3, jobs=1)
+    injector = SweepFaultInjector(seed=11, kill_rate=1.0)
+    faulted = run_chaos_suite(profile, approaches, config=HOT,
+                              fault_seed=5, n_requests=3, jobs=2,
+                              max_retries=3, injector=injector)
+    assert injector.worker_kills >= 1
+    assert ([r.fingerprint() for r in faulted]
+            == [r.fingerprint() for r in clean])
+
+
+def test_supervised_suite_quarantines_poison_cell(profile):
+    """A cell that dies on every attempt is dropped from the results and
+    reported through failures_out instead of aborting the suite."""
+    poison = chaos_key(profile, "snapbpf", HOT, 5, 3)
+
+    class Targeted(SweepFaultInjector):
+        def plan(self, key, attempt):
+            if key == poison:
+                return WorkerFault(kill=True)
+            return None
+
+    failures = []
+    results = run_chaos_suite(profile, ["snapbpf", "reap"], config=HOT,
+                              fault_seed=5, n_requests=3, jobs=1,
+                              max_retries=1, keep_going=True,
+                              injector=Targeted(), failures_out=failures)
+    assert [r.approach for r in results] == ["reap"]
+    assert len(failures) == 1
+    assert failures[0].reason == "crash"
+    assert failures[0].attempts == 2
+    assert "snapbpf" in failures[0].label

@@ -1,5 +1,7 @@
 """CLI entry point (`python -m repro`)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -189,3 +191,37 @@ def test_cluster_fig_smoke(capsys):
     assert "cold-start ratio" in captured.out
     assert "snapshot-locality" in captured.out
     assert "sweep:" in captured.err
+
+
+def test_fig_chaos_sweep_byte_identical(tmp_path, capsys):
+    """The headline acceptance loop: every worker SIGKILLed on first
+    attempt, every store write torn — yet the figure is byte-identical
+    to a clean serial run and the failure manifest is empty."""
+    assert main(["fig", "4", "--functions", "json"]) == 0
+    reference = capsys.readouterr().out
+
+    manifest = tmp_path / "artifacts" / "sweep_failures.json"
+    assert main(["fig", "4", "--functions", "json", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "store"),
+                 "--sweep-kill-rate", "1.0", "--sweep-tear-rate", "1.0",
+                 "--sweep-fault-seed", "7", "--max-retries", "3",
+                 "--failure-manifest", str(manifest)]) == 0
+    chaotic = capsys.readouterr()
+    assert chaotic.out == reference
+    assert "worker_crashes=" in chaotic.err
+    assert "worker_crashes=0" not in chaotic.err
+    payload = json.loads(manifest.read_text())
+    assert payload["kind"] == "sweep-failures"
+    assert payload["failures"] == []
+
+
+def test_run_accepts_supervision_flags(capsys):
+    assert main(["run", "json", "linux-nora", "--timeout", "120",
+                 "--max-retries", "1", "--keep-going"]) == 0
+    assert "json" in capsys.readouterr().out
+
+
+def test_fig_bad_sweep_rate_rejected(capsys):
+    assert main(["fig", "4", "--functions", "json",
+                 "--sweep-kill-rate", "1.5"]) == 2
+    assert "rate" in capsys.readouterr().err.lower()

@@ -9,7 +9,8 @@ from repro.harness.experiment import ResultCache, run_scenario
 from repro.harness.figures import figure_3a, figure_specs, matrix_specs
 from repro.harness.report import render_figure
 from repro.harness.spec import SCHEMA_VERSION, ScenarioSpec
-from repro.harness.sweep import ResultStore, SweepRunner, execute_spec
+from repro.harness.sweep import (ResultStore, SweepRunner, SweepStats,
+                                 execute_spec)
 from repro.mm.costs import CostModel
 
 
@@ -173,3 +174,78 @@ def test_matrix_specs_cover_all_figures(tiny_profile):
     assert approaches == {"linux-nora", "linux-ra", "reap", "faasnap",
                           "pv-ptes", "snapbpf"}
     assert len(specs) == len(set(specs))
+
+
+# -- corrupt-entry quarantine ----------------------------------------------
+
+def test_store_quarantines_entry_truncated_mid_file(tmp_path, spec):
+    """A write torn mid-JSON (crash during flush) must not poison the
+    store: the entry is renamed aside and the cell becomes a miss."""
+    store = ResultStore(tmp_path)
+    store.save_scenario(spec, run_scenario(spec))
+    path = store.path(spec.stable_hash())
+    raw = path.read_text()
+    path.write_text(raw[:len(raw) // 2])  # torn mid-file
+
+    assert store.load_scenario(spec) is None
+    assert store.corrupt_entries == 1
+    corrupt = path.with_suffix(path.suffix + ".corrupt")
+    assert corrupt.exists() and not path.exists()
+    assert len(store) == 0, "quarantined entries leave the store"
+    # The quarantined bytes are preserved for post-mortem.
+    assert corrupt.read_text() == raw[:len(raw) // 2]
+    # Second load is a plain miss: no file left to quarantine again.
+    assert store.load_scenario(spec) is None
+    assert store.corrupt_entries == 1
+
+
+def test_corrupt_entries_surface_in_metrics_registry(tmp_path, spec):
+    store = ResultStore(tmp_path)
+    ResultCache(store=store).get(spec)
+    path = store.path(spec.stable_hash())
+    path.write_text(path.read_text()[:40])
+
+    cache = ResultCache(store=store)
+    assert cache.lookup(spec) is None
+    assert cache.metrics.snapshot()["store_corrupt_entries_total"] == 1.0
+
+
+def test_schema_mismatch_is_a_miss_not_a_quarantine(tmp_path, spec):
+    """Old-schema entries are well-formed JSON from a previous version;
+    they are overwritten in place, not renamed aside."""
+    store = ResultStore(tmp_path)
+    store.save_scenario(spec, run_scenario(spec))
+    path = store.path(spec.stable_hash())
+    entry = json.loads(path.read_text())
+    entry["schema"] = -1
+    path.write_text(json.dumps(entry))
+
+    assert store.load_scenario(spec) is None
+    assert store.corrupt_entries == 0
+    assert path.exists()
+
+
+# -- throughput accounting --------------------------------------------------
+
+def test_stats_rates_split_executed_from_resolved():
+    stats = SweepStats(requested=4, unique=4, executed=2,
+                       memory_hits=1, disk_hits=1, elapsed_seconds=2.0)
+    assert stats.scenarios_per_second == 1.0, "executed cells per second"
+    assert stats.resolved_per_second == 2.0, "all unique cells per second"
+    summary = stats.summary()
+    assert "exec_rate=1.00/s" in summary
+    assert "resolved_rate=2.00/s" in summary
+
+
+def test_warm_rerun_reports_zero_execution_throughput(tmp_path,
+                                                      tiny_profile):
+    specs = figure_specs("3a", [tiny_profile])
+    SweepRunner(ResultCache(store=ResultStore(tmp_path))).run(specs)
+
+    warm = SweepRunner(ResultCache(store=ResultStore(tmp_path)))
+    warm.run(specs)
+    stats = warm.last_stats
+    assert stats.executed == 0
+    assert stats.scenarios_per_second == 0.0
+    assert stats.resolved_per_second > 0.0
+    assert warm.cache.metrics.snapshot()["sweep_scenarios_per_second"] == 0.0
