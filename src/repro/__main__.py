@@ -21,6 +21,9 @@ Commands:
                                gateway (--policy, --nodes, --autoscale,
                                --node-crash-rate), or sweep routing
                                policies x node counts with --fig
+  serve --attach STATE.json    serve the live control-room dashboard for
+                               a run started elsewhere with
+                               --serve-state (HTTP + SSE + /metrics)
 
 ``run``, ``fig``, ``chaos``, and ``cluster`` share the sweep flags:
 ``--jobs N`` fans independent scenario cells out over N worker
@@ -37,6 +40,16 @@ reports permanently-failed cells in a failure manifest
 chaos knobs SIGKILL workers, hang cells past their deadline, and tear
 store writes to prove all of the above works.
 
+The same four commands also share the serve flags: ``--serve``
+self-hosts the control-room dashboard (``/``), the Prometheus scrape
+endpoint (``/metrics``), and the SSE stream (``/api/events``) for the
+duration of the run; ``--serve-state PATH`` atomically publishes each
+state snapshot to a JSON file that a separate ``repro serve --attach
+PATH`` process can watch; ``--serve-hold`` keeps the server up after
+the run finishes until SIGINT/SIGTERM (CI smoke tests, long scrapes).
+Serving is observation-only: results, figures, and fingerprints are
+byte-identical with and without it.
+
 Examples:
   python -m repro run bert snapbpf -n 10
   python -m repro run json snapbpf -n 10 --ram-gib 0.25 --evict-policy protect-head
@@ -50,13 +63,18 @@ Examples:
   python -m repro trace json snapbpf -o restore.json --jsonl spans.jsonl
   python -m repro cluster json snapbpf --policy snapshot-locality --nodes 4
   python -m repro cluster json --fig --jobs 4 --cache-dir .sweep-cache
+  python -m repro fig --all --serve --serve-port 8040
+  python -m repro fig --all --serve-state /tmp/repro-state.json &
+  python -m repro serve --attach /tmp/repro-state.json --port 8040
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import signal
 import sys
+import threading
 
 from repro import GIB, MIB, FUNCTIONS, approach_registry, profile_by_name, run_scenario
 from repro.core.policies import policy_names
@@ -110,12 +128,88 @@ def _make_injector(args) -> SweepFaultInjector | None:
         tear_rate=args.sweep_tear_rate)
 
 
-def _make_runner(args, cache: ResultCache) -> SweepRunner:
+def _make_runner(args, cache: ResultCache,
+                 telemetry=None) -> SweepRunner:
     """A SweepRunner wired up from the shared supervision flags."""
     return SweepRunner(cache, jobs=args.jobs, timeout=args.timeout,
                        max_retries=args.max_retries,
                        keep_going=args.keep_going,
-                       injector=_make_injector(args))
+                       injector=_make_injector(args),
+                       telemetry=telemetry)
+
+
+def _wait_for_signal() -> None:
+    """Block the main thread until SIGINT/SIGTERM, then return (so the
+    caller can shut its server down and exit 0)."""
+    fired = threading.Event()
+
+    def handler(_signum, _frame) -> None:
+        fired.set()
+
+    restore = []
+    try:
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            restore.append((sig, signal.signal(sig, handler)))
+    except (ValueError, OSError):
+        pass  # non-main thread / exotic platform: fall through and wait
+    try:
+        while not fired.wait(timeout=1.0):
+            pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for sig, previous in restore:
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, OSError):
+                pass
+
+
+class _ServeContext:
+    """The shared --serve/--serve-state flags, resolved to a running
+    telemetry hub + HTTP server around one command invocation.
+
+    ``hub`` is None when serving is off — every call site passes it
+    straight through as the ``telemetry=`` argument, so the disabled
+    path is the exact pre-serve code path (identity guarantee).
+    """
+
+    def __init__(self, args):
+        self.args = args
+        self.hub = None
+        self.server = None
+        serve = getattr(args, "serve", False)
+        state = getattr(args, "serve_state", None)
+        if not serve and not state:
+            return
+        from repro.serve import TelemetryHub, TelemetryServer
+        self.hub = TelemetryHub(state_path=state)
+        if serve:
+            self.server = TelemetryServer(self.hub, host=args.serve_host,
+                                          port=args.serve_port)
+            self.server.start()
+            print(f"serve: control room at {self.server.url} "
+                  f"(/metrics, /api/state, /api/events)", file=sys.stderr)
+
+    def attach_cache(self, cache: ResultCache) -> None:
+        """Expose the sweep cache's registry on /metrics and in the
+        dashboard's metrics table."""
+        if self.hub is not None:
+            self.hub.attach_registry(cache.metrics)
+
+    def finish(self) -> None:
+        """Flush the final snapshot; honor --serve-hold; stop serving.
+        Runs in a ``finally`` so a failed sweep still tears down."""
+        if self.hub is None:
+            return
+        self.hub.publish(force=True)
+        if self.server is not None and getattr(self.args, "serve_hold",
+                                               False):
+            print("serve: run finished, holding for scrapes "
+                  "(SIGTERM/Ctrl-C to exit)", file=sys.stderr)
+            _wait_for_signal()
+        if self.server is not None:
+            self.server.stop()
 
 
 def _sweep(runner: SweepRunner, specs, args) -> dict:
@@ -143,8 +237,13 @@ def cmd_run(args) -> int:
                                    if args.ram_gib else None),
                         evict_policy=args.evict_policy)
     cache = ResultCache(store=_make_store(args))
-    runner = _make_runner(args, cache)
-    result = _sweep(runner, [spec], args).get(spec)
+    serving = _ServeContext(args)
+    serving.attach_cache(cache)
+    runner = _make_runner(args, cache, telemetry=serving.hub)
+    try:
+        result = _sweep(runner, [spec], args).get(spec)
+    finally:
+        serving.finish()
     if result is None:
         print("error: scenario quarantined; see the failure manifest",
               file=sys.stderr)
@@ -185,14 +284,20 @@ def cmd_fig(args) -> int:
         return 2
     functions = args.functions.split(",") if args.functions else None
     cache = ResultCache(store=_make_store(args))
-    runner = _make_runner(args, cache)
-    _sweep(runner, F.matrix_specs(figures, functions), args)
-    if runner.last_manifest:
-        print(f"warning: {len(runner.last_manifest)} cell(s) quarantined; "
-              f"figures will re-attempt them inline", file=sys.stderr)
-    for figure in figures:
-        print(render_figure(F.build_figure(figure, cache,
-                                           functions=functions)))
+    serving = _ServeContext(args)
+    serving.attach_cache(cache)
+    runner = _make_runner(args, cache, telemetry=serving.hub)
+    try:
+        _sweep(runner, F.matrix_specs(figures, functions), args)
+        if runner.last_manifest:
+            print(f"warning: {len(runner.last_manifest)} cell(s) "
+                  f"quarantined; figures will re-attempt them inline",
+                  file=sys.stderr)
+        for figure in figures:
+            print(render_figure(F.build_figure(figure, cache,
+                                               functions=functions)))
+    finally:
+        serving.finish()
     print(runner.last_stats.summary(), file=sys.stderr)
     return 0
 
@@ -225,19 +330,24 @@ def cmd_chaos(args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     failures: list = []
-    results = run_chaos_suite(profile, approaches, config=config,
-                              fault_seed=args.fault_seed,
-                              n_requests=args.requests,
-                              request_deadline=args.deadline,
-                              device_kind=args.device,
-                              ram_bytes=(int(args.ram_gib * GIB)
-                                         if args.ram_gib else None),
-                              jobs=args.jobs, store=_make_store(args),
-                              timeout=args.timeout,
-                              max_retries=args.max_retries,
-                              keep_going=args.keep_going,
-                              injector=_make_injector(args),
-                              failures_out=failures)
+    serving = _ServeContext(args)
+    try:
+        results = run_chaos_suite(profile, approaches, config=config,
+                                  fault_seed=args.fault_seed,
+                                  n_requests=args.requests,
+                                  request_deadline=args.deadline,
+                                  device_kind=args.device,
+                                  ram_bytes=(int(args.ram_gib * GIB)
+                                             if args.ram_gib else None),
+                                  jobs=args.jobs, store=_make_store(args),
+                                  timeout=args.timeout,
+                                  max_retries=args.max_retries,
+                                  keep_going=args.keep_going,
+                                  injector=_make_injector(args),
+                                  failures_out=failures,
+                                  telemetry=serving.hub)
+    finally:
+        serving.finish()
     if args.failure_manifest:
         write_failure_manifest(args.failure_manifest, failures)
     if failures:
@@ -305,16 +415,21 @@ def cmd_cluster(args) -> int:
         approaches = ([args.approach] if args.approach
                       else list(F.FIGURE_MATRIX["cluster"][0]))
         cache = ResultCache(store=_make_store(args))
-        runner = _make_runner(args, cache)
-        _sweep(runner, [F.cluster_cell_spec(profile, a, policy, n,
-                                            **cluster_kwargs)
-                        for a in approaches for policy in policies
-                        for n in node_counts], args)
-        data = F.cluster_figure_data(cache, [profile], approaches,
-                                     policies=policies,
-                                     node_counts=node_counts,
-                                     **cluster_kwargs)
-        print(render_figure(data))
+        serving = _ServeContext(args)
+        serving.attach_cache(cache)
+        runner = _make_runner(args, cache, telemetry=serving.hub)
+        try:
+            _sweep(runner, [F.cluster_cell_spec(profile, a, policy, n,
+                                                **cluster_kwargs)
+                            for a in approaches for policy in policies
+                            for n in node_counts], args)
+            data = F.cluster_figure_data(cache, [profile], approaches,
+                                         policies=policies,
+                                         node_counts=node_counts,
+                                         **cluster_kwargs)
+            print(render_figure(data))
+        finally:
+            serving.finish()
         print(runner.last_stats.summary(), file=sys.stderr)
         return 0
 
@@ -338,8 +453,13 @@ def cmd_cluster(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    report = run_cluster(spec, fault_config=fault_config,
-                         fault_seed=args.fault_seed)
+    serving = _ServeContext(args)
+    try:
+        report = run_cluster(spec, fault_config=fault_config,
+                             fault_seed=args.fault_seed,
+                             telemetry=serving.hub)
+    finally:
+        serving.finish()
     print(f"{profile.name}/{spec.approach} cluster: {cspec}")
     print(f"  requests      {report.requests:10d} "
           f"(completed {report.completed}, timeouts {report.timeouts}, "
@@ -363,6 +483,30 @@ def cmd_cluster(args) -> int:
         value = report.metrics.get(key, 0)
         if value:
             print(f"  {key:33s} {value:10.0f}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Attach mode: serve the dashboard for a run publishing its state
+    elsewhere (``--serve-state``), until SIGINT/SIGTERM (exit 0)."""
+    from repro.serve import StateFileWatcher, TelemetryHub, TelemetryServer
+
+    hub = TelemetryHub()
+    watcher = StateFileWatcher(args.attach, hub,
+                               interval=args.poll_interval)
+    if not watcher.poll_once():
+        print(f"serve: waiting for {args.attach} to appear "
+              f"(start the run with --serve-state)", file=sys.stderr)
+    watcher.start()
+    server = TelemetryServer(hub, host=args.host, port=args.port)
+    server.start()
+    print(f"serve: control room at {server.url} "
+          f"(attached to {args.attach})", file=sys.stderr)
+    try:
+        _wait_for_signal()
+    finally:
+        watcher.stop()
+        server.stop()
     return 0
 
 
@@ -417,6 +561,27 @@ def main(argv: list[str] | None = None) -> int:
     sweep_flags.add_argument(
         "--sweep-fault-seed", type=int, default=0,
         help="seed for the --sweep-*-rate chaos draws")
+    # Serve flags ride along on the same four commands.
+    sweep_flags.add_argument(
+        "--serve", action="store_true",
+        help="self-host the live control-room dashboard, /metrics "
+             "scrape endpoint, and /api/events SSE stream for the "
+             "duration of the run (observation-only)")
+    sweep_flags.add_argument(
+        "--serve-host", default="127.0.0.1", metavar="HOST",
+        help="bind address for --serve (default: 127.0.0.1)")
+    sweep_flags.add_argument(
+        "--serve-port", type=int, default=8040, metavar="PORT",
+        help="bind port for --serve; 0 picks an ephemeral port "
+             "(default: 8040)")
+    sweep_flags.add_argument(
+        "--serve-state", default=None, metavar="PATH",
+        help="atomically publish each telemetry snapshot to this JSON "
+             "file so 'repro serve --attach PATH' can watch the run")
+    sweep_flags.add_argument(
+        "--serve-hold", action="store_true",
+        help="with --serve: keep serving after the run finishes until "
+             "SIGINT/SIGTERM (CI smoke tests, manual inspection)")
 
     sub.add_parser("list", help="list functions and approaches")
 
@@ -530,6 +695,19 @@ def main(argv: list[str] | None = None) -> int:
     cluster_parser.add_argument("--device", choices=("ssd", "hdd"),
                                 default="ssd")
 
+    serve_parser = sub.add_parser(
+        "serve", help="serve the control-room dashboard for a run "
+                      "publishing --serve-state elsewhere")
+    serve_parser.add_argument(
+        "--attach", required=True, metavar="STATE.json",
+        help="state file the watched run writes via --serve-state")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8040,
+                              help="0 picks an ephemeral port")
+    serve_parser.add_argument("--poll-interval", type=float, default=0.5,
+                              metavar="SECONDS",
+                              help="state-file poll cadence")
+
     args = parser.parse_args(argv)
     if hasattr(args, "sweep_kill_rate"):
         try:
@@ -539,7 +717,7 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     handler = {"list": cmd_list, "run": cmd_run, "table1": cmd_table1,
                "fig": cmd_fig, "chaos": cmd_chaos, "trace": cmd_trace,
-               "cluster": cmd_cluster}[args.command]
+               "cluster": cmd_cluster, "serve": cmd_serve}[args.command]
     try:
         return handler(args)
     except SweepFailure as exc:

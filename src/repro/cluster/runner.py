@@ -174,9 +174,17 @@ class ClusterReport:
 
 
 def run_cluster(spec, fault_config=None, fault_seed: int = 0,
-                tracer: Tracer | None = None) -> ClusterReport:
+                tracer: Tracer | None = None,
+                telemetry=None) -> ClusterReport:
     """Run the fleet scenario described by ``spec`` (a ScenarioSpec
-    whose ``cluster`` field is set)."""
+    whose ``cluster`` field is set).
+
+    ``telemetry`` (a :class:`~repro.serve.hub.TelemetryHub`) observes
+    the run live: it is wired to the DES engine's per-event hook, the
+    cluster registry, the tracer, and a fleet-topology provider built
+    from the gateway's node table.  Observation-only — attaching a hub
+    changes no report field or fingerprint.
+    """
     cspec = spec.cluster
     if cspec is None:
         raise ValueError("spec.cluster is not set; use run_scenario")
@@ -190,6 +198,24 @@ def run_cluster(spec, fault_config=None, fault_seed: int = 0,
         overflow_inflight=cspec.overflow_inflight)
     gateway = Gateway(env, policy, registry=registry, tracer=tracer)
     kernels: list[Kernel] = []
+
+    if telemetry is not None:
+        def fleet_topology() -> dict:
+            counts: dict[str, int] = {}
+            nodes = []
+            for cnode in gateway.nodes.values():
+                counts[cnode.state] = counts.get(cnode.state, 0) + 1
+                nodes.append({"id": cnode.node_id, "name": cnode.name,
+                              "state": cnode.state,
+                              "inflight": cnode.inflight,
+                              "served": cnode.served})
+            return {"nodes": nodes, "counts": counts}
+
+        env.telemetry = telemetry
+        telemetry.attach_registry(registry)
+        telemetry.attach_tracer(tracer)
+        telemetry.attach_fleet_provider(fleet_topology)
+        telemetry.flush(phase=f"cluster:{cspec.policy}")
 
     schedule = None
     if fault_config is not None:
@@ -287,6 +313,10 @@ def run_cluster(spec, fault_config=None, fault_seed: int = 0,
         return out
 
     registry.register_collector(node_rollup)
+
+    if telemetry is not None:
+        telemetry.publish(sim_time=env.now, force=True,
+                          phase=f"cluster:{cspec.policy} done")
 
     return ClusterReport(
         policy=cspec.policy,

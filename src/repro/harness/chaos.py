@@ -260,7 +260,8 @@ def run_chaos_suite(profile: FunctionProfile, approaches: list[str],
                     max_retries: int = 2,
                     keep_going: bool = False,
                     injector=None,
-                    failures_out: list | None = None) -> list[ChaosResult]:
+                    failures_out: list | None = None,
+                    telemetry=None) -> list[ChaosResult]:
     """One chaos run per approach, supervised across worker processes.
 
     Each cell is an independent pure function of its arguments (a fresh
@@ -272,6 +273,8 @@ def run_chaos_suite(profile: FunctionProfile, approaches: list[str],
     ``injector`` have :func:`~repro.harness.sweep.supervised_map`
     semantics; with ``keep_going`` permanently-failed cells are dropped
     from the returned list and appended to ``failures_out``.
+    ``telemetry`` (a :class:`~repro.serve.hub.TelemetryHub`) receives
+    live suite progress — observation-only, fingerprints unchanged.
     """
     from repro.harness.sweep import SweepCell, supervised_map
 
@@ -301,10 +304,24 @@ def run_chaos_suite(profile: FunctionProfile, approaches: list[str],
               "approach": approaches[i], "fault_seed": fault_seed})
         for i in missing]
 
+    if telemetry is not None:
+        telemetry.update_sweep(
+            requested=len(approaches), unique=len(approaches),
+            executed=0, memory_hits=0,
+            disk_hits=len(approaches) - len(cells),
+            remaining=len(cells), done=False)
+        telemetry.flush(phase=f"chaos:{profile.name}")
+    executed = 0
+
     def deliver(cell, result: ChaosResult) -> None:
+        nonlocal executed
         results[cell.index] = result
         if store is not None:
             store.save(keys[cell.index], result.to_dict(), kind="chaos")
+        if telemetry is not None:
+            executed += 1
+            telemetry.update_sweep(executed=executed,
+                                   remaining=len(cells) - executed)
 
     _, failures = supervised_map(
         _supervised_chaos_cell, cells, jobs, timeout=timeout,
@@ -312,6 +329,9 @@ def run_chaos_suite(profile: FunctionProfile, approaches: list[str],
         injector=injector, deliver=deliver)
     if failures_out is not None:
         failures_out.extend(failures)
+    if telemetry is not None:
+        telemetry.update_sweep(quarantined=len(failures), done=True)
+        telemetry.flush(phase=f"chaos:{profile.name} done")
     return [results[i] for i in range(len(approaches)) if i in results]
 
 

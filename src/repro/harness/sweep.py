@@ -685,14 +685,17 @@ class SweepRunner:
     :class:`~repro.faults.sweep.SweepFaultInjector` (chaos harness);
     ``tracer`` receives instant events for crashes/timeouts/retries/
     quarantines on the ``sweep`` track, stamped with wall-clock seconds
-    since the sweep started.
+    since the sweep started; ``telemetry`` attaches a serve-plane
+    :class:`~repro.serve.hub.TelemetryHub` that receives live sweep
+    progress (cells resolved / executed / quarantined) for the
+    dashboard and ``/metrics`` endpoint.
     """
 
     def __init__(self, cache: ResultCache | None = None,
                  jobs: int = 1, *, timeout: float | None = None,
                  max_retries: int = 2, keep_going: bool = False,
                  retry_policy: RetryPolicy | None = None,
-                 injector=None, tracer=None) -> None:
+                 injector=None, tracer=None, telemetry=None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if timeout is not None and timeout <= 0:
@@ -707,6 +710,9 @@ class SweepRunner:
         self.retry_policy = retry_policy
         self.injector = injector
         self.tracer = tracer
+        #: Serve plane hook (duck-typed TelemetryHub): sweep progress is
+        #: published as cells resolve.  Observation-only, default off.
+        self.telemetry = telemetry
         if injector is not None and self.cache.store is not None:
             self.cache.store.fault_injector = injector
         registry = self.cache.metrics
@@ -797,6 +803,16 @@ class SweepRunner:
                            spec=spec.canonical())
                  for i, spec in enumerate(missing)]
 
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.update_sweep(
+                requested=stats.requested, unique=stats.unique,
+                executed=0, memory_hits=stats.memory_hits,
+                disk_hits=stats.disk_hits, remaining=len(cells),
+                retries=0, worker_crashes=0, timeouts=0, quarantined=0,
+                done=False)
+            telemetry.flush(phase="sweep")
+
         def deliver(cell: SweepCell, result: ScenarioResult) -> None:
             spec = cell.item
             results[spec] = result
@@ -804,6 +820,10 @@ class SweepRunner:
             # Checkpoint immediately: a later crash or interrupt cannot
             # lose this cell, and a rerun replays it from the store.
             self.cache.record_execution(spec, result)
+            if telemetry is not None:
+                telemetry.update_sweep(
+                    executed=stats.executed,
+                    remaining=len(cells) - stats.executed)
             if on_result is not None:
                 on_result(spec, result)
 
@@ -816,6 +836,8 @@ class SweepRunner:
             counter, attr = counters[kind]
             counter.inc()
             setattr(stats, attr, getattr(stats, attr) + 1)
+            if telemetry is not None:
+                telemetry.update_sweep(**{attr: getattr(stats, attr)})
             tracer = self.tracer
             if tracer is not None and tracer.enabled:
                 tracer.instant(f"sweep {kind}", "sweep",
@@ -847,4 +869,11 @@ class SweepRunner:
             self._rate.set(stats.scenarios_per_second)
             self._ratio.set(stats.hit_ratio)
             self.last_stats = stats
+            if telemetry is not None:
+                telemetry.update_sweep(
+                    executed=stats.executed,
+                    remaining=len(cells) - stats.executed,
+                    elapsed_seconds=round(stats.elapsed_seconds, 3),
+                    done=True)
+                telemetry.flush(phase="sweep done")
         return results

@@ -6,20 +6,26 @@ VMM stack, which itself sits above the layers that import the registry.
 """
 
 from repro.metrics.registry import (
+    TEXT_CONTENT_TYPE,
     Counter,
     Gauge,
     Histogram,
     MetricError,
     MetricsRegistry,
+    escape_help,
+    escape_label_value,
 )
 
 __all__ = [
+    "TEXT_CONTENT_TYPE",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricError",
     "MetricsRegistry",
     "ScenarioResult",
+    "escape_help",
+    "escape_label_value",
     "summarize",
 ]
 

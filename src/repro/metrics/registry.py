@@ -17,7 +17,24 @@ cumulative bucket counts (upper-bound rule, clamped to the observed max).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
+
+#: The Content-Type a Prometheus scraper expects for the text format.
+TEXT_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` string per the text-exposition spec:
+    backslash and newline (quotes are legal in HELP text)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(text: str) -> str:
+    """Escape a label value per the text-exposition spec: backslash,
+    double quote, and newline."""
+    return (text.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 class MetricError(ValueError):
@@ -112,10 +129,22 @@ class Histogram(Metric):
         self._sum = 0.0
         self._min = float("inf")
         self._max = 0.0
+        #: Shared registry lock (set at registration): an observation
+        #: updates five fields, so a concurrent scrape must not read a
+        #: half-updated histogram.  Standalone histograms stay lock-free.
+        self._lock: threading.RLock | None = None
 
     def observe(self, value: float) -> None:
         if value < 0:
             raise MetricError(f"histogram {self.name!r}: negative observation")
+        lock = self._lock
+        if lock is None:
+            self._observe(value)
+        else:
+            with lock:
+                self._observe(value)
+
+    def _observe(self, value: float) -> None:
         self._counts[self._bucket_index(value)] += 1
         self._count += 1
         self._sum += value
@@ -196,6 +225,12 @@ class MetricsRegistry:
     def __init__(self):
         self._metrics: dict[str, Metric] = {}
         self._collectors: list[Callable[[], dict[str, float]]] = []
+        #: Guards aggregate reads (snapshot / text exposition) against
+        #: concurrent histogram mutation — the serve plane scrapes from
+        #: HTTP threads while the sweep thread flushes results.  RLock:
+        #: histogram observes take the same lock, and a collector may
+        #: legitimately read its own registry.
+        self.lock = threading.RLock()
 
     # -- get-or-create factories -------------------------------------------
     def counter(self, name: str, help: str = "") -> Counter:
@@ -214,6 +249,7 @@ class MetricsRegistry:
                     f"{type(existing).__name__}")
             return existing
         metric = Histogram(name, help, base=base, n_buckets=n_buckets)
+        metric._lock = self.lock
         self._metrics[name] = metric
         return metric
 
@@ -255,38 +291,68 @@ class MetricsRegistry:
 
     # -- aggregate reads ------------------------------------------------------
     def snapshot(self) -> dict[str, float]:
-        """Every metric and collector flattened to name -> value."""
-        out: dict[str, float] = {}
-        for metric in self._metrics.values():
-            out.update(metric.sample())
-        for collect in self._collectors:
-            for key, value in collect().items():
-                out[key] = out.get(key, 0) + value
-        return out
+        """Every metric and collector flattened to name -> value.
+
+        Taken under :attr:`lock`, so a snapshot from another thread can
+        never observe a half-updated histogram mid-``observe``.
+        """
+        with self.lock:
+            out: dict[str, float] = {}
+            for metric in self._metrics.values():
+                out.update(metric.sample())
+            for collect in self._collectors:
+                for key, value in collect().items():
+                    out[key] = out.get(key, 0) + value
+            return out
+
+    def text_exposition(self) -> str:
+        """The registry in Prometheus text-exposition format (0.0.4).
+
+        Scrape-safe: the whole render happens under :attr:`lock` (a
+        concurrent worker flush cannot tear a histogram), HELP text and
+        label values are escaped per the spec, and collector-published
+        series are included as untyped samples — serve it with
+        :data:`TEXT_CONTENT_TYPE` and real scrapers parse it.
+        """
+        with self.lock:
+            lines = []
+            for name in self.names():
+                metric = self._metrics[name]
+                kind = type(metric).__name__.lower()
+                if metric.help:
+                    lines.append(f"# HELP {name} "
+                                 f"{escape_help(metric.help)}")
+                lines.append(f"# TYPE {name} {kind}")
+                if isinstance(metric, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(metric.bounds,
+                                            metric.bucket_counts()):
+                        cumulative += count
+                        le = escape_label_value(f"{bound:g}")
+                        lines.append(f'{name}_bucket{{le="{le}"}} '
+                                     f"{cumulative}")
+                    lines.append(f'{name}_bucket{{le="+Inf"}} '
+                                 f"{metric.count}")
+                    lines.append(f"{name}_sum {metric.sum:g}")
+                    lines.append(f"{name}_count {metric.count}")
+                else:
+                    lines.append(f"{name} {metric.value:g}")
+            collected: dict[str, float] = {}
+            for collect in self._collectors:
+                for key, value in collect().items():
+                    collected[key] = collected.get(key, 0) + value
+            for key in sorted(collected):
+                if key in self._metrics:
+                    continue  # already rendered as a typed series
+                lines.append(f"# TYPE {key} untyped")
+                lines.append(f"{key} {collected[key]:g}")
+            return "\n".join(lines) + ("\n" if lines else "")
 
     def render(self) -> str:
-        """Prometheus text-exposition-style dump (debugging aid)."""
-        lines = []
-        for name in self.names():
-            metric = self._metrics[name]
-            kind = type(metric).__name__.lower()
-            if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
-            lines.append(f"# TYPE {name} {kind}")
-            if isinstance(metric, Histogram):
-                cumulative = 0
-                for bound, count in zip(metric.bounds,
-                                        metric.bucket_counts()):
-                    cumulative += count
-                    lines.append(f'{name}_bucket{{le="{bound:g}"}} '
-                                 f"{cumulative}")
-                lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
-                lines.append(f"{name}_sum {metric.sum:g}")
-                lines.append(f"{name}_count {metric.count}")
-            else:
-                lines.append(f"{name} {metric.value:g}")
-        return "\n".join(lines) + ("\n" if lines else "")
+        """Deprecated alias for :meth:`text_exposition`."""
+        return self.text_exposition()
 
     def reset(self) -> None:
-        for metric in self._metrics.values():
-            metric.reset()
+        with self.lock:
+            for metric in self._metrics.values():
+                metric.reset()

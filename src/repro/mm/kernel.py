@@ -73,6 +73,16 @@ class Kernel:
         register_evict_hint(self)
         #: The installed FaultSchedule, if any (see FaultSchedule.install).
         self.faults = None
+        # Ring-buffer drop accounting for the span tracer, published
+        # only once a span has actually been dropped so fault-free
+        # snapshots keep their exact historical keys (identity contract).
+        self.metrics.register_collector(self._trace_drop_counters)
+
+    def _trace_drop_counters(self) -> dict[str, float]:
+        dropped = self.tracer.dropped
+        if not dropped:
+            return {}
+        return {"trace_spans_dropped_total": float(dropped)}
 
     # -- factories ---------------------------------------------------------------
     def spawn_space(self, owner: str | None = None) -> AddressSpace:

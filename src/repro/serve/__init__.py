@@ -1,0 +1,24 @@
+"""Serve plane: live HTTP/SSE dashboard over a running simulation.
+
+``python -m repro serve`` hosts it standalone (or attaches to a running
+sweep's state file); ``--serve`` on ``run``/``fig``/``chaos``/
+``cluster`` self-hosts it for the duration of a run.  See
+:mod:`repro.serve.hub` for the publication model and DESIGN.md §13 for
+the architecture.
+"""
+
+from repro.serve.hub import (
+    SERVE_SCHEMA,
+    StateFileWatcher,
+    TelemetryHub,
+    span_to_dict,
+)
+from repro.serve.server import TelemetryServer
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "StateFileWatcher",
+    "TelemetryHub",
+    "TelemetryServer",
+    "span_to_dict",
+]

@@ -1,0 +1,153 @@
+"""The control-room backend: stdlib HTTP server over a TelemetryHub.
+
+Endpoints:
+
+* ``GET /metrics`` — the metrics registry in real Prometheus
+  text-exposition format (``text/plain; version=0.0.4``), so an actual
+  Prometheus scraper can point at a running sweep.
+* ``GET /api/state`` — the hub's latest versioned JSON snapshot.
+* ``GET /api/events`` — Server-Sent Events: one ``state`` event per
+  published version (id = version), with ``: keepalive`` comments while
+  idle.  The dashboard and tests consume this.
+* ``GET /`` (+ ``/app.js``, ``/style.css``) — the static vanilla-JS
+  dashboard, served from the packaged ``web/`` directory.
+
+Built on :class:`http.server.ThreadingHTTPServer` (daemon handler
+threads) — no third-party dependencies.  :meth:`TelemetryServer.stop`
+sets a stopping flag and kicks the hub so blocked SSE handlers exit
+promptly; nothing leaks across a clean stop.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import urlsplit
+
+from repro.metrics.registry import TEXT_CONTENT_TYPE
+from repro.serve.hub import TelemetryHub
+
+#: Packaged dashboard assets, whitelisted path -> (file, content type).
+WEB_ROOT = Path(__file__).resolve().parent / "web"
+STATIC_ROUTES = {
+    "/": ("index.html", "text/html; charset=utf-8"),
+    "/index.html": ("index.html", "text/html; charset=utf-8"),
+    "/app.js": ("app.js", "application/javascript; charset=utf-8"),
+    "/style.css": ("style.css", "text/css; charset=utf-8"),
+}
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The access log is noise next to the CLI's own output.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def hub(self) -> TelemetryHub:
+        return self.server.hub
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlsplit(self.path).path
+        try:
+            if path == "/metrics":
+                self._send(200, TEXT_CONTENT_TYPE,
+                           self.hub.scrape().encode("utf-8"))
+            elif path == "/api/state":
+                body = json.dumps(self.hub.state(),
+                                  sort_keys=True).encode("utf-8")
+                self._send(200, "application/json; charset=utf-8", body)
+            elif path == "/api/events":
+                self._stream_events()
+            elif path in STATIC_ROUTES:
+                self._static(path)
+            else:
+                self._send(404, "text/plain; charset=utf-8",
+                           b"not found\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to clean up
+
+    # -- plain responses ----------------------------------------------------
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _static(self, path: str) -> None:
+        filename, content_type = STATIC_ROUTES[path]
+        try:
+            body = (WEB_ROOT / filename).read_bytes()
+        except OSError:
+            self._send(404, "text/plain; charset=utf-8",
+                       b"dashboard asset missing\n")
+            return
+        self._send(200, content_type, body)
+
+    # -- SSE ----------------------------------------------------------------
+    def _stream_events(self) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        last = -1
+        while not self.server.stopping:
+            state = self.hub.wait_for_newer(last,
+                                            timeout=self.server.sse_timeout)
+            if self.server.stopping:
+                break
+            if state is None:
+                # Idle: keep the connection demonstrably alive.
+                self.wfile.write(b": keepalive\n\n")
+                self.wfile.flush()
+                continue
+            last = state["version"]
+            payload = json.dumps(state, sort_keys=True)
+            self.wfile.write(
+                f"id: {last}\nevent: state\ndata: {payload}\n\n"
+                .encode("utf-8"))
+            self.wfile.flush()
+
+
+class TelemetryServer:
+    """Owns the ThreadingHTTPServer and its serve_forever thread."""
+
+    def __init__(self, hub: TelemetryHub, host: str = "127.0.0.1",
+                 port: int = 0, sse_timeout: float = 1.0):
+        self.hub = hub
+        self._httpd = ThreadingHTTPServer((host, port), _ServeHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.hub = hub
+        self._httpd.stopping = False
+        self._httpd.sse_timeout = sse_timeout
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Clean stop: unblock SSE handlers, stop accepting, join."""
+        self._httpd.stopping = True
+        self.hub.kick()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

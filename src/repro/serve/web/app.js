@@ -1,0 +1,213 @@
+/* repro control room — no-dependency dashboard client.
+ *
+ * Primary transport is the SSE stream (/api/events); if it drops we fall
+ * back to polling /api/state every 2 s and keep retrying SSE. All text
+ * lands via textContent, never innerHTML, so payloads need no escaping.
+ */
+"use strict";
+
+const $ = (id) => document.getElementById(id);
+
+let lastVersion = -1;
+let pollTimer = null;
+let source = null;
+
+function setConn(state, label) {
+  const el = $("conn");
+  el.dataset.state = state;
+  el.textContent = label;
+}
+
+function fmt(x, digits = 3) {
+  if (x === null || x === undefined || Number.isNaN(x)) return "–";
+  if (Number.isInteger(x) && Math.abs(x) < 1e15) return String(x);
+  return Number(x).toFixed(digits);
+}
+
+function ms(seconds) {
+  return (seconds * 1e3).toFixed(seconds * 1e3 >= 100 ? 0 : 2);
+}
+
+function tile(key, value, sub) {
+  const div = document.createElement("div");
+  div.className = "tile";
+  const k = document.createElement("div");
+  k.className = "k";
+  k.textContent = key;
+  const v = document.createElement("div");
+  v.className = "v";
+  v.textContent = value;
+  div.append(k, v);
+  if (sub) {
+    const s = document.createElement("div");
+    s.className = "sub";
+    s.textContent = sub;
+    div.append(s);
+  }
+  return div;
+}
+
+function renderSweep(sweep) {
+  const tiles = $("sweep-tiles");
+  tiles.replaceChildren();
+  const unique = sweep.unique || 0;
+  const done = (sweep.executed || 0) + (sweep.memory_hits || 0) +
+               (sweep.disk_hits || 0);
+  const pct = unique ? Math.min(100, (100 * done) / unique) : 0;
+  $("progress-fill").style.width = pct + "%";
+  $("progress").setAttribute("aria-valuenow", pct.toFixed(0));
+  $("progress-label").textContent = unique
+    ? `${done} / ${unique} cells (${pct.toFixed(0)}%)` +
+      (sweep.done ? " — done" : "")
+    : "no sweep yet";
+  const order = ["executed", "memory_hits", "disk_hits", "remaining",
+                 "retries", "worker_crashes", "timeouts", "quarantined"];
+  for (const key of order) {
+    if (key in sweep) tiles.append(tile(key.replaceAll("_", " "),
+                                        fmt(sweep[key])));
+  }
+}
+
+function renderLatency(histograms) {
+  const row = $("latency-tiles");
+  row.replaceChildren();
+  const names = Object.keys(histograms).sort();
+  let shown = 0;
+  for (const name of names) {
+    const h = histograms[name];
+    if (!h.count) continue;
+    row.append(tile(
+      name,
+      `${ms(h.p50)} / ${ms(h.p95)} / ${ms(h.p99)} ms`,
+      `n=${h.count} · mean ${ms(h.mean)} ms · max ${ms(h.max)} ms`));
+    shown += 1;
+  }
+  if (!shown) {
+    const p = document.createElement("p");
+    p.className = "empty";
+    p.textContent = "no histogram observations yet";
+    row.append(p);
+  }
+}
+
+function renderFleet(fleet) {
+  const grid = $("fleet");
+  grid.replaceChildren();
+  const nodes = (fleet && fleet.nodes) || [];
+  if (!nodes.length) {
+    const p = document.createElement("p");
+    p.className = "empty";
+    p.textContent = "single-host run (no cluster attached)";
+    grid.append(p);
+    return;
+  }
+  for (const node of nodes) {
+    const card = document.createElement("div");
+    card.className = "node-card";
+    card.dataset.state = node.state || "up";
+    const name = document.createElement("div");
+    name.className = "name";
+    name.textContent = node.name || `node${node.id}`;
+    const state = document.createElement("div");
+    state.className = "state";
+    state.textContent = node.state || "?";
+    const load = document.createElement("div");
+    load.className = "load";
+    load.textContent =
+      `inflight ${fmt(node.inflight || 0)} · served ${fmt(node.served || 0)}`;
+    card.append(name, state, load);
+    grid.append(card);
+  }
+}
+
+function renderSpans(spans, dropped) {
+  const body = $("spans").querySelector("tbody");
+  body.replaceChildren();
+  $("spans-empty").style.display = spans.length ? "none" : "block";
+  $("spans-dropped").textContent =
+    dropped ? `(${dropped} dropped by the ring)` : "";
+  for (const span of spans.slice(-40).reverse()) {
+    const tr = document.createElement("tr");
+    for (const [cls, text] of [
+      ["num", fmt(span.ts, 6)],
+      ["", span.track],
+      ["", span.cat],
+      ["name-cell", span.name],
+      ["num", span.ph === "i" ? "·" : ms(span.dur)],
+    ]) {
+      const td = document.createElement("td");
+      if (cls) td.className = cls;
+      td.textContent = text;
+      tr.append(td);
+    }
+    body.append(tr);
+  }
+}
+
+function renderMetrics(metrics) {
+  const body = $("metrics").querySelector("tbody");
+  body.replaceChildren();
+  for (const name of Object.keys(metrics).sort()) {
+    const tr = document.createElement("tr");
+    const k = document.createElement("td");
+    k.className = "name-cell";
+    k.textContent = name;
+    const v = document.createElement("td");
+    v.className = "num";
+    v.textContent = fmt(metrics[name], 6);
+    tr.append(k, v);
+    body.append(tr);
+  }
+}
+
+function render(state) {
+  if (state.version <= lastVersion) return;
+  lastVersion = state.version;
+  $("version").textContent = String(state.version);
+  $("sim-time").textContent = fmt(state.sim_time || 0, 3);
+  $("phase").textContent = state.phase || "idle";
+  renderSweep(state.sweep || {});
+  renderLatency(state.histograms || {});
+  renderFleet(state.fleet || {});
+  renderSpans(state.spans || [], state.spans_dropped || 0);
+  renderMetrics(state.metrics || {});
+}
+
+async function pollOnce() {
+  try {
+    const res = await fetch("/api/state", { cache: "no-store" });
+    if (res.ok) render(await res.json());
+  } catch (err) {
+    setConn("lost", "disconnected");
+  }
+}
+
+function startPolling() {
+  if (pollTimer) return;
+  setConn("poll", "polling /api/state");
+  pollOnce();
+  pollTimer = setInterval(pollOnce, 2000);
+}
+
+function stopPolling() {
+  if (pollTimer) {
+    clearInterval(pollTimer);
+    pollTimer = null;
+  }
+}
+
+function connect() {
+  source = new EventSource("/api/events");
+  source.addEventListener("state", (event) => {
+    stopPolling();
+    setConn("live", "live (SSE)");
+    render(JSON.parse(event.data));
+  });
+  source.onerror = () => {
+    // EventSource auto-reconnects; poll while it does.
+    startPolling();
+  };
+}
+
+connect();
+pollOnce();

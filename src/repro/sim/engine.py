@@ -303,6 +303,12 @@ class Environment:
         #: engine never imports the trace package — same layering as the
         #: fault plane's injector attributes.
         self.tracer = None
+        #: Serve plane hook (duck-typed; see repro.serve.hub).  When set,
+        #: every processed event offers the hub a chance to publish a
+        #: snapshot (self-throttled by sim time).  Observation-only: the
+        #: default None costs one attribute check per event and the
+        #: engine never imports the serve package.
+        self.telemetry = None
 
     @property
     def now(self) -> float:
@@ -349,6 +355,8 @@ class Environment:
             # An unhandled failure (nothing waited on the event) is an
             # error: errors should never pass silently.
             raise event._value
+        if self.telemetry is not None:
+            self.telemetry.on_sim_event(self._now)
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the heap drains, ``until`` time passes, or event fires."""

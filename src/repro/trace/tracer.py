@@ -16,6 +16,7 @@ hooks in — the bottom layers never import this package.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 
@@ -35,14 +36,19 @@ class Span:
 class Tracer:
     """Span collector; disabled (and free) until :meth:`enable` is called.
 
-    ``max_events`` bounds memory on long runs: past it, new spans are
-    counted in :attr:`dropped` instead of stored — never silently.
+    ``max_events`` bounds memory on long runs: the span store is a ring
+    buffer — past capacity each new span overwrites the *oldest* one,
+    and every overwrite is counted in :attr:`dropped` (never silently),
+    mirroring the BPF ring buffer's drop accounting.  Keeping the most
+    recent spans is what a live dashboard attached mid-run needs; the
+    default capacity is high enough that batch exports never wrap, so
+    existing trace files are byte-identical.
     """
 
     def __init__(self, max_events: int = 1_000_000):
         self.enabled = False
         self.max_events = max_events
-        self.events: list[Span] = []
+        self.events: deque[Span] = deque(maxlen=max_events)
         self.dropped = 0
 
     # -- lifecycle ---------------------------------------------------------
@@ -76,8 +82,7 @@ class Tracer:
 
     def _emit(self, span: Span) -> None:
         if len(self.events) >= self.max_events:
-            self.dropped += 1
-            return
+            self.dropped += 1  # the deque evicts the oldest span
         self.events.append(span)
 
     # -- queries -----------------------------------------------------------
@@ -86,6 +91,15 @@ class Tracer:
         return [s for s in self.events
                 if (cat is None or s.cat == cat)
                 and (name is None or s.name == name)]
+
+    def recent(self, n: int) -> list[Span]:
+        """The last ``n`` spans, oldest first (the dashboard's span
+        ring)."""
+        if n <= 0:
+            return []
+        events = self.events
+        start = max(0, len(events) - n)
+        return [events[i] for i in range(start, len(events))]
 
     def category_totals(self) -> dict[str, float]:
         """Summed span durations per category (the CLI summary line)."""

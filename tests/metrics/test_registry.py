@@ -1,13 +1,18 @@
 """The unified metrics registry: counters, gauges, log2 histograms."""
 
+import threading
+
 import pytest
 
 from repro.metrics.registry import (
+    TEXT_CONTENT_TYPE,
     Counter,
     Gauge,
     Histogram,
     MetricError,
     MetricsRegistry,
+    escape_help,
+    escape_label_value,
 )
 
 
@@ -168,3 +173,130 @@ class TestRegistry:
         assert "reqs 2" in text
         assert 'lat_bucket{le="+Inf"} 1' in text
         assert "lat_count 1" in text
+
+
+class TestTextExposition:
+    """The scrape-facing contract: escaping, collectors, content type."""
+
+    def test_content_type_is_prometheus_0_0_4(self):
+        assert TEXT_CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in TEXT_CONTENT_TYPE
+
+    def test_escape_help_round_trip(self):
+        raw = 'multi\nline with back\\slash and "quotes"'
+        escaped = escape_help(raw)
+        assert "\n" not in escaped
+        # HELP keeps quotes literal; only \ and newline are escaped.
+        assert '"quotes"' in escaped
+        unescaped = (escaped.replace("\\n", "\n")
+                     .replace("\\\\", "\\"))
+        # Round trip is exact when unescaping in spec order (the
+        # replace order above is safe because escaping doubled every
+        # original backslash first).
+        assert escape_help(unescaped) == escaped
+
+    def test_escape_label_value_round_trip(self):
+        raw = 'a\\b"c\nd'
+        escaped = escape_label_value(raw)
+        assert escaped == 'a\\\\b\\"c\\nd'
+        unescaped = (escaped.replace("\\\\", "\x00")
+                     .replace('\\"', '"').replace("\\n", "\n")
+                     .replace("\x00", "\\"))
+        assert unescaped == raw
+
+    def test_help_with_newline_stays_one_line(self):
+        registry = MetricsRegistry()
+        registry.counter("c", help="line one\nline two").inc()
+        text = registry.text_exposition()
+        help_lines = [ln for ln in text.splitlines()
+                      if ln.startswith("# HELP")]
+        assert help_lines == ["# HELP c line one\\nline two"]
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", base=1.0, n_buckets=3)
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        text = registry.text_exposition()
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="4"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+
+    def test_collector_series_rendered_untyped(self):
+        registry = MetricsRegistry()
+        registry.counter("typed").inc()
+        registry.register_collector(lambda: {"external_total": 3.0})
+        text = registry.text_exposition()
+        assert "# TYPE external_total untyped" in text
+        assert "external_total 3" in text
+        # A collector key shadowing a typed metric must NOT produce a
+        # duplicate series (illegal in the exposition format).
+        registry.register_collector(lambda: {"typed": 5.0})
+        lines = registry.text_exposition().splitlines()
+        assert lines.count("# TYPE typed counter") == 1
+        assert sum(1 for ln in lines
+                   if ln.split(" ")[0] == "typed") == 1
+
+    def test_ends_with_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert registry.text_exposition().endswith("\n")
+
+
+class TestScrapeVsMutationRace:
+    """A scrape during a worker flush must never observe a torn
+    histogram (count/sum/buckets updated non-atomically)."""
+
+    def test_threaded_observe_vs_snapshot(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", base=1.0, n_buckets=8)
+        n_per_thread, n_threads = 2_000, 4
+        stop = threading.Event()
+        torn: list[str] = []
+
+        def scraper():
+            while not stop.is_set():
+                snap = registry.snapshot()
+                count = snap["lat_count"]
+                # Every observation has value 1.0, so sum == count at
+                # every consistent point; inequality means a scrape
+                # interleaved with a half-applied observe().
+                if snap["lat_sum"] != count:
+                    torn.append(f"count={count} sum={snap['lat_sum']}")
+                text = registry.text_exposition()
+                inf = cnt = None
+                for line in text.splitlines():
+                    if line.startswith('lat_bucket{le="+Inf"}'):
+                        inf = float(line.split()[-1])
+                    elif line.startswith("lat_count"):
+                        cnt = float(line.split()[-1])
+                # One render is one locked read: the +Inf bucket and
+                # _count must agree inside a single exposition.
+                if inf != cnt:
+                    torn.append(f"inf_bucket={inf} count={cnt}")
+
+        def writer():
+            for _ in range(n_per_thread):
+                hist.observe(1.0)
+
+        scrape_thread = threading.Thread(target=scraper, daemon=True)
+        scrape_thread.start()
+        writers = [threading.Thread(target=writer)
+                   for _ in range(n_threads)]
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        scrape_thread.join(timeout=10)
+        assert not torn, torn[:5]
+        assert hist.count == n_per_thread * n_threads
+        assert hist.sum == float(n_per_thread * n_threads)
+
+    def test_standalone_histogram_stays_lock_free(self):
+        assert Histogram("h")._lock is None
+
+    def test_registry_histogram_shares_registry_lock(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h")._lock is registry.lock

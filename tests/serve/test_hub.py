@@ -1,0 +1,204 @@
+"""TelemetryHub: versioned snapshots, throttling, attach-mode feeding."""
+
+import json
+import threading
+
+import pytest
+
+from repro.metrics.registry import MetricsRegistry
+from repro.serve import (
+    SERVE_SCHEMA,
+    StateFileWatcher,
+    TelemetryHub,
+    span_to_dict,
+)
+from repro.trace import Tracer
+
+
+class TestSnapshotBus:
+    def test_prepublish_state_is_a_valid_stub(self):
+        state = TelemetryHub().state()
+        assert state["schema"] == SERVE_SCHEMA
+        assert state["version"] == 0
+        for key in ("metrics", "histograms", "sweep", "fleet", "spans"):
+            assert key in state
+
+    def test_publish_bumps_version_and_builds_state(self):
+        hub = TelemetryHub(wall_interval=0.0)
+        hub.publish(phase="warm", sim_time=1.5, force=True)
+        state = hub.state()
+        assert state["version"] == 1
+        assert state["phase"] == "warm"
+        assert state["sim_time"] == 1.5
+
+    def test_snapshots_are_immutable_once_built(self):
+        hub = TelemetryHub(wall_interval=0.0)
+        hub.update_sweep(executed=1)
+        first = hub.state()
+        hub.update_sweep(executed=2)
+        assert first["sweep"]["executed"] == 1
+        assert hub.state()["sweep"]["executed"] == 2
+
+    def test_wall_throttle_coalesces_updates(self):
+        hub = TelemetryHub(wall_interval=3600.0)
+        for i in range(50):
+            hub.update_sweep(executed=i)
+        # First update publishes; the rest land inside the wall window.
+        assert hub.version == 1
+        hub.flush()
+        assert hub.version == 2
+        # The flush picked up every coalesced field value.
+        assert hub.state()["sweep"]["executed"] == 49
+
+    def test_sim_throttle_gates_engine_events(self):
+        hub = TelemetryHub(sim_interval=0.25, wall_interval=0.0)
+        for now in (0.0, 0.1, 0.2):   # one window -> one publish
+            hub.on_sim_event(now)
+        assert hub.version == 1
+        hub.on_sim_event(0.30)
+        assert hub.version == 2
+        assert hub.state()["sim_time"] == 0.30
+
+    def test_registry_and_histogram_sections(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs").inc(3)
+        hist = registry.histogram("lat", base=1.0, n_buckets=4)
+        for value in (1.0, 1.0, 3.0):
+            hist.observe(value)
+        hub = TelemetryHub(registry, wall_interval=0.0)
+        hub.flush()
+        state = hub.state()
+        assert state["metrics"]["reqs"] == 3
+        lat = state["histograms"]["lat"]
+        assert lat["count"] == 3
+        assert lat["p50"] == 1.0
+        assert lat["p99"] == pytest.approx(3.0)
+
+    def test_span_ring_keeps_recent_spans(self):
+        tracer = Tracer()
+        tracer.enable()
+        for i in range(10):
+            tracer.complete(f"s{i}", "cat", float(i), dur=0.5)
+        hub = TelemetryHub(tracer=tracer, span_ring=3, wall_interval=0.0)
+        hub.flush()
+        spans = hub.state()["spans"]
+        assert [s["name"] for s in spans] == ["s7", "s8", "s9"]
+
+    def test_span_to_dict_shape(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.complete("a", "io", 1.0, dur=0.5, track="dev", k=1)
+        d = span_to_dict(tracer.events[0])
+        assert d == {"name": "a", "cat": "io", "ph": "X", "ts": 1.0,
+                     "dur": 0.5, "track": "dev", "args": {"k": 1}}
+
+    def test_fleet_provider_called_at_build_time(self):
+        hub = TelemetryHub(wall_interval=0.0)
+        calls = []
+
+        def provider():
+            calls.append(1)
+            return {"nodes": [{"id": 0, "state": "up"}],
+                    "counts": {"up": 1}}
+
+        hub.attach_fleet_provider(provider)
+        hub.flush()
+        assert hub.state()["fleet"]["counts"] == {"up": 1}
+        assert calls
+
+    def test_wait_for_newer_wakes_on_publish(self):
+        hub = TelemetryHub(wall_interval=0.0)
+        got = []
+
+        def waiter():
+            got.append(hub.wait_for_newer(0, timeout=10.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        hub.flush(phase="go")
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert got[0] is not None and got[0]["phase"] == "go"
+
+    def test_wait_for_newer_timeout_returns_none(self):
+        assert TelemetryHub().wait_for_newer(0, timeout=0.01) is None
+
+    def test_kick_wakes_without_publishing(self):
+        hub = TelemetryHub()
+        results = []
+
+        def waiter():
+            results.append(hub.wait_for_newer(0, timeout=30.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        # Kick until the waiter wakes (it may not have blocked yet).
+        for _ in range(200):
+            hub.kick()
+            thread.join(timeout=0.05)
+            if not thread.is_alive():
+                break
+        assert not thread.is_alive()
+        assert results == [None]  # woken bare, no newer snapshot
+
+    def test_scrape_without_registry_renders_snapshot_metrics(self):
+        hub = TelemetryHub(wall_interval=0.0)
+        hub.feed_state({"version": 1, "metrics": {"x_total": 2.0}})
+        text = hub.scrape()
+        assert "# TYPE x_total untyped" in text
+        assert "x_total 2" in text
+
+
+class TestStateFileAttach:
+    def test_state_file_written_atomically_and_parseable(self, tmp_path):
+        path = tmp_path / "state.json"
+        hub = TelemetryHub(wall_interval=0.0, state_path=path)
+        hub.update_sweep(executed=4)
+        hub.flush(phase="sweep")
+        state = json.loads(path.read_text())
+        assert state["sweep"]["executed"] == 4
+        assert state["schema"] == SERVE_SCHEMA
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_watcher_feeds_hub_and_versions_stay_monotonic(self, tmp_path):
+        path = tmp_path / "state.json"
+        publisher = TelemetryHub(wall_interval=0.0, state_path=path)
+        consumer = TelemetryHub()
+        watcher = StateFileWatcher(path, consumer, interval=0.01)
+
+        publisher.update_sweep(executed=1)
+        publisher.flush()
+        assert watcher.poll_once()
+        v1 = consumer.version
+        publisher.update_sweep(executed=2)
+        publisher.flush()
+        assert watcher.poll_once()
+        assert consumer.version > v1
+        assert consumer.state()["sweep"]["executed"] == 2
+        # Unchanged file -> no re-feed.
+        assert not watcher.poll_once()
+
+    def test_watcher_version_monotonic_across_restart(self, tmp_path):
+        path = tmp_path / "state.json"
+        consumer = TelemetryHub()
+        watcher = StateFileWatcher(path, consumer, interval=0.01)
+        path.write_text(json.dumps({"version": 50, "sweep": {}}))
+        watcher.poll_once()
+        assert consumer.version == 50
+        # The watched run restarted from scratch (version regressed);
+        # the local version must still move forward.
+        path.write_text(json.dumps({"version": 1, "sweep": {}}))
+        watcher.poll_once()
+        assert consumer.version == 51
+
+    def test_watcher_tolerates_missing_and_torn_files(self, tmp_path):
+        path = tmp_path / "state.json"
+        consumer = TelemetryHub()
+        watcher = StateFileWatcher(path, consumer, interval=0.01)
+        assert not watcher.poll_once()          # missing
+        path.write_text('{"version": 1, "swe')  # torn
+        assert not watcher.poll_once()
+        path.write_text(json.dumps(
+            {"schema": SERVE_SCHEMA + 1, "version": 9}))
+        assert not watcher.poll_once()          # newer schema refused
+        assert consumer.version == 0

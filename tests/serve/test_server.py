@@ -1,0 +1,153 @@
+"""TelemetryServer: /metrics, /api/state, /api/events (SSE), static web."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.metrics.registry import TEXT_CONTENT_TYPE, MetricsRegistry
+from repro.serve import TelemetryHub, TelemetryServer
+
+
+@pytest.fixture()
+def served():
+    """A started server around a fast-publishing hub; always stopped."""
+    registry = MetricsRegistry()
+    registry.counter("reqs_total", help="requests").inc(7)
+    registry.histogram("lat", base=1.0, n_buckets=2).observe(1.5)
+    hub = TelemetryHub(registry, wall_interval=0.0)
+    server = TelemetryServer(hub, port=0, sse_timeout=0.2)
+    server.start()
+    try:
+        yield hub, server
+    finally:
+        server.stop()
+
+
+def get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+class TestHttpEndpoints:
+    def test_metrics_is_prometheus_text(self, served):
+        hub, server = served
+        status, headers, body = get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == TEXT_CONTENT_TYPE
+        text = body.decode()
+        assert "# TYPE reqs_total counter" in text
+        assert "reqs_total 7" in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+
+    def test_api_state_returns_current_snapshot(self, served):
+        hub, server = served
+        hub.update_sweep(executed=3, unique=9)
+        hub.flush(phase="testing")
+        status, headers, body = get(server.url + "/api/state")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        state = json.loads(body)
+        assert state["phase"] == "testing"
+        assert state["sweep"]["executed"] == 3
+        assert state["metrics"]["reqs_total"] == 7
+
+    def test_dashboard_static_files_served(self, served):
+        _, server = served
+        status, headers, body = get(server.url + "/")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        assert b"control room" in body
+        for path, kind in (("/app.js", "javascript"), ("/style.css", "css")):
+            status, headers, _ = get(server.url + path)
+            assert status == 200
+            assert kind in headers["Content-Type"]
+
+    def test_unknown_path_is_404_not_traversal(self, served):
+        _, server = served
+        for path in ("/nope", "/../etc/passwd", "/web/../../secret"):
+            try:
+                status, _, _ = get(server.url + path)
+            except urllib.error.HTTPError as exc:
+                status = exc.code
+            assert status == 404
+
+
+class TestServerSentEvents:
+    def test_stream_delivers_monotonic_versions_live(self, served):
+        """Connect, receive >= 2 snapshot events with increasing
+        versions while a 'run' publishes, disconnect cleanly."""
+        hub, server = served
+        events = []
+        connected = threading.Event()
+
+        def consume():
+            request = urllib.request.Request(
+                server.url + "/api/events",
+                headers={"Accept": "text/event-stream"})
+            with urllib.request.urlopen(request, timeout=10) as stream:
+                assert stream.headers["Content-Type"].startswith(
+                    "text/event-stream")
+                connected.set()
+                fields = {}
+                for raw in stream:
+                    line = raw.decode().rstrip("\n")
+                    if line.startswith(":"):
+                        continue  # keepalive comment
+                    if line == "":
+                        if fields.get("event") == "state":
+                            events.append(
+                                (int(fields["id"]),
+                                 json.loads(fields["data"])))
+                        fields = {}
+                        if len(events) >= 3:
+                            return
+                        continue
+                    key, _, value = line.partition(":")
+                    fields[key] = value.strip()
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        assert connected.wait(timeout=10)
+        # Simulate run progress: each publish must reach the stream.
+        for i in range(40):
+            hub.update_sweep(executed=i)
+            hub.flush(phase="running")
+            consumer.join(timeout=0.1)
+            if not consumer.is_alive():
+                break
+        consumer.join(timeout=10)
+        assert not consumer.is_alive()
+        assert len(events) >= 2
+        ids = [event_id for event_id, _ in events]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+        versions = [state["version"] for _, state in events]
+        assert versions == ids
+        assert events[-1][1]["sweep"]["executed"] >= 1
+
+    def test_stop_unblocks_waiting_sse_clients_and_joins_thread(self):
+        hub = TelemetryHub(wall_interval=0.0)
+        server = TelemetryServer(hub, port=0, sse_timeout=0.1)
+        server.start()
+        threads_before = threading.active_count()
+
+        def consume():
+            try:
+                with urllib.request.urlopen(server.url + "/api/events",
+                                            timeout=10) as stream:
+                    for _ in stream:
+                        pass
+            except Exception:
+                pass  # connection torn down by shutdown: expected
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        server.stop()
+        consumer.join(timeout=10)
+        assert not consumer.is_alive()
+        # The server's acceptor thread is gone (daemon handler threads
+        # may linger briefly; the acceptor join is the contract).
+        assert server._thread is None or not server._thread.is_alive()
+        assert threading.active_count() <= threads_before + 1

@@ -50,6 +50,30 @@ class TestTracer:
         assert len(tracer) == 2
         assert tracer.dropped == 3
 
+    def test_ring_keeps_newest_spans(self):
+        # The buffer is a ring: overflow evicts the OLDEST span, so a
+        # live dashboard always sees the most recent activity.
+        tracer = Tracer(max_events=3)
+        tracer.enable()
+        for i in range(7):
+            tracer.complete(f"s{i}", "cat", float(i), dur=1.0)
+        assert [s.name for s in tracer.events] == ["s4", "s5", "s6"]
+        assert tracer.dropped == 4
+
+    def test_recent_returns_last_n_oldest_first(self):
+        tracer = make_tracer()
+        for i in range(5):
+            tracer.complete(f"s{i}", "cat", float(i), dur=1.0)
+        assert [s.name for s in tracer.recent(2)] == ["s3", "s4"]
+        assert [s.name for s in tracer.recent(99)] == [
+            f"s{i}" for i in range(5)]
+        assert tracer.recent(0) == []
+
+    def test_default_capacity_never_wraps_in_normal_runs(self):
+        # Exports must stay byte-identical to the unbounded-buffer era:
+        # the default ring is far larger than any scenario emits.
+        assert Tracer().max_events >= 1_000_000
+
     def test_clear(self):
         tracer = make_tracer()
         tracer.complete("a", "cat", 0.0, dur=1.0)
