@@ -12,6 +12,7 @@ import pytest
 
 from repro.baselines.faasnap import FaaSnap
 from repro.harness.experiment import run_scenario
+from repro.harness.spec import ScenarioSpec
 from repro.harness.report import render_table
 from repro.workloads.profile import profile_by_name
 
@@ -26,9 +27,9 @@ def test_coalescing_sweep(benchmark, record):
         results = {}
         for threshold in THRESHOLDS:
             results[threshold] = run_scenario(
-                profile,
-                lambda kernel, t=threshold: FaaSnap(kernel,
-                                                    gap_threshold=t))
+                ScenarioSpec(profile, "faasnap"),
+                approach_factory=lambda kernel, t=threshold: FaaSnap(
+                    kernel, gap_threshold=t))
         return results
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

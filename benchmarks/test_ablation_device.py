@@ -10,6 +10,7 @@ the design is only now viable.
 """
 
 from repro.harness.report import render_table
+from repro.harness.spec import ScenarioSpec
 from repro.workloads.profile import profile_by_name
 
 FUNCTION = "pagerank"  # mid-sized working set with short scattered runs
@@ -22,8 +23,8 @@ def test_ssd_vs_hdd(benchmark, cache, record):
         rows = {}
         for device in ("ssd", "hdd"):
             for approach in ("reap", "snapbpf"):
-                rows[(device, approach)] = cache.get(
-                    profile, approach, device_kind=device)
+                rows[(device, approach)] = cache.get(ScenarioSpec(
+                    profile, approach, device_kind=device))
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)

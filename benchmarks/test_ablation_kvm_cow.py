@@ -8,6 +8,7 @@ deduplication benefits.  The paper's patch write-maps opportunistically
 from repro.core.approach import SnapBPF
 from repro.harness.experiment import run_scenario
 from repro.harness.report import render_table
+from repro.harness.spec import ScenarioSpec
 from repro.workloads.profile import profile_by_name
 
 FUNCTION = "bfs"
@@ -16,14 +17,13 @@ INSTANCES = 10
 
 def test_patched_vs_stock_kvm(benchmark, record):
     profile = profile_by_name(FUNCTION)
+    spec = ScenarioSpec(profile, "snapbpf", n_instances=INSTANCES)
 
     def run():
         patched = run_scenario(
-            profile, lambda k: SnapBPF(k, patched_cow=True),
-            n_instances=INSTANCES)
+            spec, approach_factory=lambda k: SnapBPF(k, patched_cow=True))
         stock = run_scenario(
-            profile, lambda k: SnapBPF(k, patched_cow=False),
-            n_instances=INSTANCES)
+            spec, approach_factory=lambda k: SnapBPF(k, patched_cow=False))
         return patched, stock
 
     patched, stock = benchmark.pedantic(run, rounds=1, iterations=1)

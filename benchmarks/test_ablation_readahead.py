@@ -7,6 +7,7 @@ working sets.
 
 from repro.baselines.linux import _LinuxBase
 from repro.harness.experiment import run_scenario
+from repro.harness.spec import ScenarioSpec
 from repro.harness.report import render_table
 from repro.workloads.profile import profile_by_name
 
@@ -25,9 +26,11 @@ def test_readahead_window_sweep(benchmark, cache, record):
     profile = profile_by_name(FUNCTION)
 
     def run():
-        results = {w: run_scenario(profile, make_variant(w))
+        spec = ScenarioSpec(profile, "linux-ra")
+        results = {w: run_scenario(spec,
+                                   approach_factory=make_variant(w))
                    for w in WINDOWS}
-        results["snapbpf"] = cache.get(profile, "snapbpf")
+        results["snapbpf"] = cache.get(ScenarioSpec(profile, "snapbpf"))
         return results
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

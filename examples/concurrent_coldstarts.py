@@ -13,7 +13,7 @@ Run:
 
 import sys
 
-from repro import GIB, MIB, profile_by_name, run_scenario
+from repro import GIB, MIB, ScenarioSpec, profile_by_name, run_scenario
 
 
 def main() -> None:
@@ -26,7 +26,8 @@ def main() -> None:
 
     baseline = None
     for approach in ("linux-nora", "linux-ra", "reap", "snapbpf"):
-        result = run_scenario(profile, approach, n_instances=instances)
+        result = run_scenario(ScenarioSpec(profile, approach,
+                                           n_instances=instances))
         if baseline is None:
             baseline = result.mean_e2e
         print(f"{approach:12s} mean E2E {result.mean_e2e:7.3f} s "
@@ -34,8 +35,10 @@ def main() -> None:
               f"peak memory {result.peak_memory_bytes / GIB:5.2f} GiB | "
               f"read {result.device_bytes_read / GIB:5.2f} GiB")
 
-    reap = run_scenario(profile, "reap", n_instances=instances)
-    snapbpf = run_scenario(profile, "snapbpf", n_instances=instances)
+    reap = run_scenario(ScenarioSpec(profile, "reap",
+                                     n_instances=instances))
+    snapbpf = run_scenario(ScenarioSpec(profile, "snapbpf",
+                                        n_instances=instances))
     print(f"\nSnapBPF vs REAP at {instances}x concurrency: "
           f"{reap.mean_e2e / snapbpf.mean_e2e:.1f}x lower latency, "
           f"{reap.peak_memory_bytes / snapbpf.peak_memory_bytes:.1f}x "

@@ -11,7 +11,7 @@ Run:
     python examples/custom_function.py
 """
 
-from repro import MIB, FunctionProfile, run_scenario
+from repro import MIB, FunctionProfile, ScenarioSpec, run_scenario
 
 
 def make_profile(name: str, ws_mib: int, alloc_mib: int) -> FunctionProfile:
@@ -38,9 +38,9 @@ def main() -> None:
     print(f"{'function':20s} {'linux-ra':>9s} {'pv-only':>9s} "
           f"{'snapbpf':>9s}   dominant mechanism")
     for profile in corners:
-        ra = run_scenario(profile, "linux-ra").mean_e2e
-        pv = run_scenario(profile, "pv-ptes").mean_e2e
-        full = run_scenario(profile, "snapbpf").mean_e2e
+        ra = run_scenario(ScenarioSpec(profile, "linux-ra")).mean_e2e
+        pv = run_scenario(ScenarioSpec(profile, "pv-ptes")).mean_e2e
+        full = run_scenario(ScenarioSpec(profile, "snapbpf")).mean_e2e
         pv_gain = ra - pv
         prefetch_gain = pv - full
         dominant = ("PV PTE marking" if pv_gain > prefetch_gain

@@ -14,7 +14,7 @@ Run:
 
 import sys
 
-from repro import MIB, profile_by_name, run_scenario
+from repro import MIB, ScenarioSpec, profile_by_name, run_scenario
 
 
 def main() -> None:
@@ -24,8 +24,10 @@ def main() -> None:
           f"{profile.ws_bytes // MIB} MiB working set\n")
 
     for device in ("ssd", "hdd"):
-        reap = run_scenario(profile, "reap", device_kind=device)
-        snapbpf = run_scenario(profile, "snapbpf", device_kind=device)
+        reap = run_scenario(ScenarioSpec(profile, "reap",
+                                         device_kind=device))
+        snapbpf = run_scenario(ScenarioSpec(profile, "snapbpf",
+                                            device_kind=device))
         winner = "SnapBPF" if snapbpf.mean_e2e <= reap.mean_e2e else "REAP"
         print(f"[{device.upper()}]")
         print(f"  REAP    (sequential WS file): {reap.mean_e2e:8.3f} s "

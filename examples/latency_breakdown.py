@@ -12,7 +12,7 @@ Run:
 
 import sys
 
-from repro import profile_by_name, run_scenario
+from repro import ScenarioSpec, profile_by_name, run_scenario
 
 
 def bar(fraction: float, width: int = 28) -> str:
@@ -28,7 +28,7 @@ def main() -> None:
 
     for approach in ("linux-nora", "linux-ra", "reap", "faasnap",
                      "snapbpf"):
-        result = run_scenario(profile, approach)
+        result = run_scenario(ScenarioSpec(profile, approach))
         inv = result.invocations[0]
         e2e = inv.e2e_seconds
         print(f"[{approach}]  E2E {e2e * 1e3:.1f} ms")

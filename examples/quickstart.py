@@ -13,7 +13,7 @@ works (``json``, ``chameleon``, ``matmul``, ``pyaes``, ``image``,
 
 import sys
 
-from repro import MIB, profile_by_name, run_scenario
+from repro import MIB, ScenarioSpec, profile_by_name, run_scenario
 
 
 def main() -> None:
@@ -25,7 +25,8 @@ def main() -> None:
 
     for approach in ("linux-nora", "linux-ra", "reap", "faasnap",
                      "snapbpf"):
-        result = run_scenario(profile, approach, n_instances=1)
+        result = run_scenario(ScenarioSpec(profile, approach,
+                                           n_instances=1))
         invocation = result.invocations[0]
         print(f"{approach:12s} E2E {result.mean_e2e * 1e3:8.1f} ms | "
               f"read {result.device_bytes_read / MIB:7.1f} MiB in "
@@ -33,7 +34,7 @@ def main() -> None:
               f"peak mem {result.peak_memory_bytes / MIB:7.1f} MiB | "
               f"{invocation.nested_faults:6d} nested faults")
 
-    snapbpf = run_scenario(profile, "snapbpf")
+    snapbpf = run_scenario(ScenarioSpec(profile, "snapbpf"))
     print(f"\nSnapBPF stored {snapbpf.extra['metadata_bytes']:.0f} bytes of "
           f"offset metadata instead of a "
           f"{profile.ws_bytes // MIB} MiB working-set file, and loaded it "

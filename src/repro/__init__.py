@@ -7,8 +7,8 @@ Public API tour
 
 Run a paper experiment in three lines::
 
-    from repro import profile_by_name, run_scenario
-    result = run_scenario(profile_by_name("bert"), "snapbpf", n_instances=10)
+    from repro import ScenarioSpec, run_scenario
+    result = run_scenario(ScenarioSpec("bert", "snapbpf", n_instances=10))
     print(result.mean_e2e, result.peak_memory_gib)
 
 Layers (bottom-up):

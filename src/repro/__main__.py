@@ -21,11 +21,17 @@ Commands:
                                gateway (--policy, --nodes, --autoscale,
                                --node-crash-rate), or sweep routing
                                policies x node counts with --fig
+  bench [--quick]              run the perf-trajectory harness: pinned
+                               figure cells + the eBPF tier
+                               microbenchmark, written to BENCH_*.json;
+                               --compare gates on a committed baseline
   serve --attach STATE.json    serve the live control-room dashboard for
                                a run started elsewhere with
                                --serve-state (HTTP + SSE + /metrics)
 
-``run``, ``fig``, ``chaos``, and ``cluster`` share the sweep flags:
+``run``, ``fig``, ``chaos``, ``cluster``, and ``bench`` share the sweep
+flags (one parent parser, resolved into a single
+:class:`~repro.harness.sweep.SweepOptions` value handed to the runners):
 ``--jobs N`` fans independent scenario cells out over N worker
 processes (results are byte-identical for every N), ``--cache-dir DIR``
 persists each finished cell in a content-addressed store *as it
@@ -63,6 +69,7 @@ Examples:
   python -m repro trace json snapbpf -o restore.json --jsonl spans.jsonl
   python -m repro cluster json snapbpf --policy snapshot-locality --nodes 4
   python -m repro cluster json --fig --jobs 4 --cache-dir .sweep-cache
+  python -m repro bench --quick --compare BENCH_8.json
   python -m repro fig --all --serve --serve-port 8040
   python -m repro fig --all --serve-state /tmp/repro-state.json &
   python -m repro serve --attach /tmp/repro-state.json --port 8040
@@ -78,16 +85,16 @@ import threading
 
 from repro import GIB, MIB, FUNCTIONS, approach_registry, profile_by_name, run_scenario
 from repro.core.policies import policy_names
-from repro.faults import FaultConfig, SweepFaultInjector
+from repro.faults import FaultConfig
 from repro.harness import figures as F
 from repro.harness.chaos import DEFAULT_CHAOS, render_chaos, run_chaos_suite
 from repro.harness.experiment import ResultCache
 from repro.harness.report import render_figure, render_table1
 from repro.harness.spec import ScenarioSpec
 from repro.harness.sweep import (
-    ResultStore,
     SweepFailure,
     SweepInterrupted,
+    SweepOptions,
     SweepRunner,
     write_failure_manifest,
 )
@@ -104,38 +111,6 @@ def cmd_list(_args) -> int:
     for name in sorted(approach_registry()):
         print(f"  {name}")
     return 0
-
-
-def _make_store(args) -> ResultStore | None:
-    """The shared --cache-dir/--no-cache flags, resolved to a store."""
-    if not getattr(args, "cache_dir", None) or args.no_cache:
-        return None
-    return ResultStore(args.cache_dir)
-
-
-def _make_injector(args) -> SweepFaultInjector | None:
-    """The --sweep-*-rate chaos flags, resolved to an injector."""
-    if not (args.sweep_kill_rate or args.sweep_hang_rate
-            or args.sweep_tear_rate):
-        return None
-    hang_seconds = 30.0
-    if args.timeout is not None:
-        # Hangs only matter relative to the deadline; outlive it.
-        hang_seconds = max(hang_seconds, 2.0 * args.timeout)
-    return SweepFaultInjector(
-        seed=args.sweep_fault_seed, kill_rate=args.sweep_kill_rate,
-        hang_rate=args.sweep_hang_rate, hang_seconds=hang_seconds,
-        tear_rate=args.sweep_tear_rate)
-
-
-def _make_runner(args, cache: ResultCache,
-                 telemetry=None) -> SweepRunner:
-    """A SweepRunner wired up from the shared supervision flags."""
-    return SweepRunner(cache, jobs=args.jobs, timeout=args.timeout,
-                       max_retries=args.max_retries,
-                       keep_going=args.keep_going,
-                       injector=_make_injector(args),
-                       telemetry=telemetry)
 
 
 def _wait_for_signal() -> None:
@@ -174,19 +149,17 @@ class _ServeContext:
     path is the exact pre-serve code path (identity guarantee).
     """
 
-    def __init__(self, args):
-        self.args = args
+    def __init__(self, opts: SweepOptions):
+        self.opts = opts
         self.hub = None
         self.server = None
-        serve = getattr(args, "serve", False)
-        state = getattr(args, "serve_state", None)
-        if not serve and not state:
+        if not opts.serve and not opts.serve_state:
             return
         from repro.serve import TelemetryHub, TelemetryServer
-        self.hub = TelemetryHub(state_path=state)
-        if serve:
-            self.server = TelemetryServer(self.hub, host=args.serve_host,
-                                          port=args.serve_port)
+        self.hub = TelemetryHub(state_path=opts.serve_state)
+        if opts.serve:
+            self.server = TelemetryServer(self.hub, host=opts.serve_host,
+                                          port=opts.serve_port)
             self.server.start()
             print(f"serve: control room at {self.server.url} "
                   f"(/metrics, /api/state, /api/events)", file=sys.stderr)
@@ -203,8 +176,7 @@ class _ServeContext:
         if self.hub is None:
             return
         self.hub.publish(force=True)
-        if self.server is not None and getattr(self.args, "serve_hold",
-                                               False):
+        if self.server is not None and self.opts.serve_hold:
             print("serve: run finished, holding for scrapes "
                   "(SIGTERM/Ctrl-C to exit)", file=sys.stderr)
             _wait_for_signal()
@@ -212,15 +184,15 @@ class _ServeContext:
             self.server.stop()
 
 
-def _sweep(runner: SweepRunner, specs, args) -> dict:
+def _sweep(runner: SweepRunner, specs, opts: SweepOptions) -> dict:
     """Run specs through the supervisor, honoring --failure-manifest
     whatever the outcome (an empty manifest is evidence of a clean
     sweep; a partial one is the resume/debugging artifact)."""
     try:
         return runner.run(specs)
     finally:
-        if getattr(args, "failure_manifest", None):
-            runner.write_manifest(args.failure_manifest)
+        if opts.failure_manifest:
+            runner.write_manifest(opts.failure_manifest)
 
 
 def cmd_run(args) -> int:
@@ -236,12 +208,13 @@ def cmd_run(args) -> int:
                         ram_bytes=(int(args.ram_gib * GIB)
                                    if args.ram_gib else None),
                         evict_policy=args.evict_policy)
-    cache = ResultCache(store=_make_store(args))
-    serving = _ServeContext(args)
+    opts = SweepOptions.from_args(args)
+    cache = ResultCache(store=opts.make_store())
+    serving = _ServeContext(opts)
     serving.attach_cache(cache)
-    runner = _make_runner(args, cache, telemetry=serving.hub)
+    runner = opts.make_runner(cache, telemetry=serving.hub)
     try:
-        result = _sweep(runner, [spec], args).get(spec)
+        result = _sweep(runner, [spec], opts).get(spec)
     finally:
         serving.finish()
     if result is None:
@@ -283,12 +256,13 @@ def cmd_fig(args) -> int:
         print("error: name a figure or pass --all", file=sys.stderr)
         return 2
     functions = args.functions.split(",") if args.functions else None
-    cache = ResultCache(store=_make_store(args))
-    serving = _ServeContext(args)
+    opts = SweepOptions.from_args(args)
+    cache = ResultCache(store=opts.make_store())
+    serving = _ServeContext(opts)
     serving.attach_cache(cache)
-    runner = _make_runner(args, cache, telemetry=serving.hub)
+    runner = opts.make_runner(cache, telemetry=serving.hub)
     try:
-        _sweep(runner, F.matrix_specs(figures, functions), args)
+        _sweep(runner, F.matrix_specs(figures, functions), opts)
         if runner.last_manifest:
             print(f"warning: {len(runner.last_manifest)} cell(s) "
                   f"quarantined; figures will re-attempt them inline",
@@ -330,7 +304,8 @@ def cmd_chaos(args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     failures: list = []
-    serving = _ServeContext(args)
+    opts = SweepOptions.from_args(args)
+    serving = _ServeContext(opts)
     try:
         results = run_chaos_suite(profile, approaches, config=config,
                                   fault_seed=args.fault_seed,
@@ -339,11 +314,11 @@ def cmd_chaos(args) -> int:
                                   device_kind=args.device,
                                   ram_bytes=(int(args.ram_gib * GIB)
                                              if args.ram_gib else None),
-                                  jobs=args.jobs, store=_make_store(args),
-                                  timeout=args.timeout,
-                                  max_retries=args.max_retries,
-                                  keep_going=args.keep_going,
-                                  injector=_make_injector(args),
+                                  jobs=opts.jobs, store=opts.make_store(),
+                                  timeout=opts.timeout,
+                                  max_retries=opts.max_retries,
+                                  keep_going=opts.keep_going,
+                                  injector=opts.make_injector(),
                                   failures_out=failures,
                                   telemetry=serving.hub)
     finally:
@@ -368,9 +343,11 @@ def cmd_trace(args) -> int:
 
     kernel = make_kernel(args.device)
     kernel.tracer.enable()
-    result = run_scenario(profile, args.approach,
-                          n_instances=args.instances,
-                          device_kind=args.device, kernel=kernel)
+    result = run_scenario(ScenarioSpec(function=profile,
+                                       approach=args.approach,
+                                       n_instances=args.instances,
+                                       device_kind=args.device),
+                          kernel=kernel)
     tracer = kernel.tracer
     with open(args.out, "w") as fp:
         write_chrome(tracer, fp)
@@ -414,15 +391,16 @@ def cmd_cluster(args) -> int:
         node_counts = [int(n) for n in args.node_counts.split(",")]
         approaches = ([args.approach] if args.approach
                       else list(F.FIGURE_MATRIX["cluster"][0]))
-        cache = ResultCache(store=_make_store(args))
-        serving = _ServeContext(args)
+        opts = SweepOptions.from_args(args)
+        cache = ResultCache(store=opts.make_store())
+        serving = _ServeContext(opts)
         serving.attach_cache(cache)
-        runner = _make_runner(args, cache, telemetry=serving.hub)
+        runner = opts.make_runner(cache, telemetry=serving.hub)
         try:
             _sweep(runner, [F.cluster_cell_spec(profile, a, policy, n,
                                                 **cluster_kwargs)
                             for a in approaches for policy in policies
-                            for n in node_counts], args)
+                            for n in node_counts], opts)
             data = F.cluster_figure_data(cache, [profile], approaches,
                                          policies=policies,
                                          node_counts=node_counts,
@@ -453,7 +431,7 @@ def cmd_cluster(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    serving = _ServeContext(args)
+    serving = _ServeContext(SweepOptions.from_args(args))
     try:
         report = run_cluster(spec, fault_config=fault_config,
                              fault_seed=args.fault_seed,
@@ -483,6 +461,48 @@ def cmd_cluster(args) -> int:
         value = report.metrics.get(key, 0)
         if value:
             print(f"  {key:33s} {value:10.0f}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Run the perf-trajectory harness and optionally gate on the
+    committed ``BENCH_*.json`` baseline (CI smoke: ``bench --quick
+    --compare BENCH_8.json``)."""
+    from repro.harness import bench as B
+
+    opts = SweepOptions.from_args(args)
+    serving = _ServeContext(opts)
+    try:
+        report = B.run_bench(
+            quick=args.quick,
+            progress=lambda msg: print(f"bench: {msg}", file=sys.stderr))
+    finally:
+        serving.finish()
+    print(B.render_bench(report))
+    out = args.out
+    if out is None and not args.quick:
+        # A full run refreshes the committed trajectory by default; a
+        # --quick run never clobbers it unless --out says so.
+        out = B.DEFAULT_BENCH_PATH
+    if out:
+        B.write_bench(report, out)
+        print(f"bench: wrote {out}", file=sys.stderr)
+    if args.compare:
+        try:
+            baseline = B.load_bench(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline {args.compare!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        regressions = B.compare(report, baseline,
+                                threshold=args.regression_threshold)
+        if regressions:
+            for line in regressions:
+                print(f"bench regression: {line}", file=sys.stderr)
+            return 1
+        print(f"bench: no regression vs {args.compare} "
+              f"(threshold {args.regression_threshold:.0%})",
+              file=sys.stderr)
     return 0
 
 
@@ -695,6 +715,27 @@ def main(argv: list[str] | None = None) -> int:
     cluster_parser.add_argument("--device", choices=("ssd", "hdd"),
                                 default="ssd")
 
+    bench_parser = sub.add_parser(
+        "bench", help="run the perf-trajectory harness (BENCH_*.json)",
+        parents=[sweep_flags])
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke subset: quick-eligible cells and a shorter "
+             "microbench; never overwrites the committed file unless "
+             "--out says so")
+    bench_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSON report here (default: the committed "
+             "trajectory file for full runs, nothing for --quick)")
+    bench_parser.add_argument(
+        "--compare", default=None, metavar="PATH",
+        help="load a baseline report and exit 1 on regression")
+    bench_parser.add_argument(
+        "--regression-threshold", type=float, default=0.30,
+        metavar="FRAC",
+        help="events/sec drop that counts as a regression (default: "
+             "0.30)")
+
     serve_parser = sub.add_parser(
         "serve", help="serve the control-room dashboard for a run "
                       "publishing --serve-state elsewhere")
@@ -711,13 +752,20 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if hasattr(args, "sweep_kill_rate"):
         try:
-            _make_injector(args)  # validates the --sweep-*-rate flags
+            # Validates the --sweep-*-rate flags before any work starts.
+            SweepOptions.from_args(args).make_injector()
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    threshold = getattr(args, "regression_threshold", None)
+    if threshold is not None and not 0 < threshold < 1:
+        print(f"error: --regression-threshold must be in (0, 1), "
+              f"got {threshold}", file=sys.stderr)
+        return 2
     handler = {"list": cmd_list, "run": cmd_run, "table1": cmd_table1,
                "fig": cmd_fig, "chaos": cmd_chaos, "trace": cmd_trace,
-               "cluster": cmd_cluster, "serve": cmd_serve}[args.command]
+               "cluster": cmd_cluster, "bench": cmd_bench,
+               "serve": cmd_serve}[args.command]
     try:
         return handler(args)
     except SweepFailure as exc:

@@ -131,9 +131,12 @@ class FaaSnap(Approach):
         yield env.timeout(len(residency) * costs.mincore_per_page)
         vm.teardown()
 
-        zero_pages = set(self.snapshot.file.zero_pages())
+        zero_list = self.snapshot.file.zero_pages()
+        zero_map = bytearray(self.snapshot.mem_pages)
+        for page in zero_list:
+            zero_map[page] = 1
         ws_pages = [idx for idx, resident in enumerate(residency)
-                    if resident and idx not in zero_pages]
+                    if resident and not zero_map[idx]]
         self.ws_pages_exact = len(ws_pages)
 
         # Coalesce into regions and serialize them (gap pages included —
@@ -166,7 +169,7 @@ class FaaSnap(Approach):
         # pages swallowed into a coalesced WS region are served from the
         # WS file instead (they are part of the inflation).
         self._zero_ranges = _subtract(
-            coalesce(sorted(zero_pages), 0),
+            coalesce(zero_list, 0),
             [(r.guest_start, r.length) for r in regions])
         self.prepared = True
 

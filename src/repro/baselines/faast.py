@@ -31,6 +31,9 @@ class Faast(REAP):
     def __init__(self, kernel):
         super().__init__(kernel)
         self.filtered_faults = 0
+        #: gfn -> was-free-at-snapshot byte map (the pre-scan result),
+        #: built lazily from the snapshot metadata.
+        self._free_map: bytearray | None = None
 
     def _record_fetch(self, gfn: int):
         if self._free_or_scan(gfn):
@@ -57,4 +60,11 @@ class Faast(REAP):
         a range lookup.
         """
         assert self.snapshot is not None
-        return gfn in self.snapshot.meta.free_gfns
+        free_map = self._free_map
+        if free_map is None:
+            meta = self.snapshot.meta
+            free_map = bytearray(meta.mem_pages)
+            for free_gfn in meta.iter_free_gfns():
+                free_map[free_gfn] = 1
+            self._free_map = free_map
+        return gfn < len(free_map) and free_map[gfn] != 0

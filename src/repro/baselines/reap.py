@@ -18,6 +18,8 @@ failure Figures 3b/3c quantify.
 
 from __future__ import annotations
 
+from array import array
+
 from repro.baselines.base import Approach, register_approach
 from repro.mm.frames import OutOfMemory
 from repro.mm.userfaultfd import Uffd
@@ -47,7 +49,9 @@ class REAP(Approach):
         self._ws_order: list[int] = []
         self._ws_contents: list[int] = []
         self._ws_file = None
-        self._ws_pos: dict[int, int] = {}
+        #: gfn -> WS-file position, as a flat array over guest pages
+        #: (-1 = not in the working set); probed per demand fault.
+        self._ws_pos = array("q")
         #: Fault plane: transient fetch errors healed by handler retry.
         self.demand_retries = 0
         #: Fault plane: fetches that exhausted the retry budget — the
@@ -75,7 +79,9 @@ class REAP(Approach):
         # so invocation-phase streaming matches demand order).
         self._ws_order = order
         self._ws_contents = [self.snapshot.file.content(g) for g in order]
-        self._ws_pos = {gfn: i for i, gfn in enumerate(order)}
+        self._ws_pos = array("q", [-1]) * self.snapshot.mem_pages
+        for i, gfn in enumerate(order):
+            self._ws_pos[gfn] = i
         self._ws_file = self.kernel.filestore.create(
             f"{profile.name}.{self.name}.ws",
             max(1, len(order)) * PAGE_SIZE)
@@ -153,8 +159,11 @@ class REAP(Approach):
                 self.prefetch_aborts += 1
                 pos += count
                 continue
+            # Probe the page table directly: ints, no tuple or call churn.
+            pt = vm.space.pt
+            base = vm.guest_base_vpn
             todo = [i for i in range(pos, pos + count)
-                    if not vm.space.pte_present(vm.guest_vpn(order[i]))]
+                    if (base + order[i]) not in pt]
             if todo:
                 # ioctl + copy per page, charged before installation.
                 yield env.timeout(len(todo) * (costs.uffd_copy_ioctl
@@ -222,8 +231,8 @@ class REAP(Approach):
         Prefer the WS file (sequential position known) and fall back to
         the snapshot, both with direct I/O.
         """
-        pos = self._ws_pos.get(gfn)
-        if pos is not None:
+        pos = self._ws_pos[gfn] if gfn < len(self._ws_pos) else -1
+        if pos >= 0:
             yield self.kernel.filestore.read_pages(self._ws_file, pos, 1)
             return self._ws_contents[pos], 0.0
         yield self.kernel.filestore.read_pages(self.snapshot.file, gfn, 1)

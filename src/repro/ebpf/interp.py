@@ -13,6 +13,7 @@ runs — eBPF overhead is part of what the paper measures.
 
 from __future__ import annotations
 
+import os
 import struct
 from dataclasses import dataclass, field
 from typing import Callable
@@ -50,7 +51,7 @@ class RuntimeFault(RuntimeError):
     """Illegal runtime behaviour (should be prevented by the verifier)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionResult:
     """Outcome of one program run."""
 
@@ -61,6 +62,8 @@ class ExecutionResult:
 
 class _Region:
     """A bounds-checked byte region addressable from BPF."""
+
+    __slots__ = ("data", "writable", "name")
 
     def __init__(self, data: bytearray | bytes, writable: bool, name: str):
         self.data = data
@@ -89,7 +92,7 @@ class _Region:
             width, "little")
 
 
-@dataclass
+@dataclass(slots=True)
 class _Ptr:
     """A concrete typed pointer: region + byte offset."""
 
@@ -106,7 +109,16 @@ def _to_signed(value: int) -> int:
 
 
 class Interpreter:
-    """Executes programs; shared helper/kfunc environment."""
+    """Executes programs; shared helper/kfunc environment.
+
+    Two execution tiers share this entry point.  By default a program is
+    *compiled* on first run — translated once into a Python closure with
+    identical semantics (see :mod:`repro.ebpf.compile`) — and every
+    later run executes the closure.  Setting ``REPRO_EBPF_INTERP=1`` in
+    the environment (or ``use_compiled = False`` on an instance) falls
+    back to the per-instruction interpreter loop, which the equivalence
+    fuzz harness runs side by side with the compiled tier.
+    """
 
     def __init__(self, kfuncs: KfuncRegistry | None = None,
                  time_ns: Callable[[], int] | None = None):
@@ -121,9 +133,40 @@ class Interpreter:
         #: here).  ``None`` makes the helper report 0 — a standalone
         #: interpreter has no page cache to inspect.
         self.page_stats = None
+        #: Tier switch: compiled closures by default, interpreter loop
+        #: when the escape hatch is set.
+        self.use_compiled = os.environ.get(
+            "REPRO_EBPF_INTERP", "") not in ("1", "true", "yes", "on")
 
     def run(self, program: Program, ctx: bytes = b"",
             budget: int = INSN_BUDGET) -> ExecutionResult:
+        """Run ``program`` on the active tier (compiled unless disabled)."""
+        if self.use_compiled:
+            compiled = getattr(program, "_compiled", None)
+            if compiled is None or compiled.owner is not self:
+                compiled = self.prepare(program)
+                if compiled is None:   # generator punted; interpret
+                    return self.interpret(program, ctx, budget)
+            return compiled.fn(self, ctx, budget)
+        return self.interpret(program, ctx, budget)
+
+    def prepare(self, program: Program):
+        """Compile ``program`` for this runtime and cache it on the
+        program (the program-load step; kprobe attach calls this so the
+        first fire already runs compiled code).  Returns the compiled
+        form, or ``None`` when the program cannot be compiled."""
+        from repro.ebpf.compile import CompileError, compile_program
+        self._kfunc_table(program)   # resolve once for both tiers
+        try:
+            compiled = compile_program(program, self)
+        except CompileError:
+            return None
+        program._compiled = compiled
+        return compiled
+
+    def interpret(self, program: Program, ctx: bytes = b"",
+                  budget: int = INSN_BUDGET) -> ExecutionResult:
+        """The per-instruction fallback tier (``REPRO_EBPF_INTERP=1``)."""
         stack = _Region(bytearray(STACK_SIZE), writable=True, name="stack")
         ctx_region = _Region(bytes(ctx), writable=False, name="ctx")
         regs: list[object] = [None] * NUM_REGS
@@ -132,6 +175,7 @@ class Interpreter:
 
         tracer = self.tracer
         tracing = tracer is not None and tracer.enabled
+        kfunc_table = self._kfunc_table(program)
         pc = 0
         executed = 0
         while True:
@@ -179,7 +223,9 @@ class Interpreter:
                 self._clobber(regs)
                 pc += 1
             elif isinstance(insn, CallKfunc):
-                spec = self.kfuncs.get(insn.name)
+                spec = kfunc_table.get(insn.name)
+                if spec is None:   # unresolved (or late-registered) name
+                    spec = self.kfuncs.get(insn.name)
                 args = []
                 for arg_idx in range(spec.n_args):
                     arg = regs[R1 + arg_idx]
@@ -193,6 +239,21 @@ class Interpreter:
                 pc += 1
             else:  # pragma: no cover
                 raise RuntimeFault(f"unknown instruction {insn!r}")
+
+    def _kfunc_table(self, program: Program) -> dict:
+        """Kfunc resolution hoisted to program-load time (once per
+        program, not per invocation); the compiled tier resolves against
+        the same registry at the same point.  Names that fail to resolve
+        stay lazy so late registration — or the registry's error — keeps
+        per-invocation behaviour."""
+        cached = getattr(program, "_kfunc_table", None)
+        if cached is not None and cached[0] is self.kfuncs:
+            return cached[1]
+        table = {insn.name: self.kfuncs.get(insn.name)
+                 for insn in program.insns
+                 if isinstance(insn, CallKfunc) and insn.name in self.kfuncs}
+        program._kfunc_table = (self.kfuncs, table)
+        return table
 
     # -- instruction semantics -------------------------------------------------
     @staticmethod
@@ -296,8 +357,10 @@ class Interpreter:
 
     # -- helpers ---------------------------------------------------------------
     def _helper(self, regs: list[object], helper_id: int) -> object:
-        spec = H.spec_for(helper_id)
-        if spec.helper_id == H.BPF_FUNC_MAP_LOOKUP_ELEM:
+        # Dispatch directly on the id: the helper table is static, so
+        # there is nothing to resolve per invocation (spec_for is only
+        # consulted for unknown ids, to raise its canonical error).
+        if helper_id == H.BPF_FUNC_MAP_LOOKUP_ELEM:
             bpf_map = self._map_arg(regs[R1])
             key = self._buffer_arg(regs[R1 + 1], bpf_map.key_size)
             value = bpf_map.lookup(key)
@@ -305,7 +368,7 @@ class Interpreter:
                 return 0
             return _Ptr(_Region(value, writable=True,
                                 name=f"map:{bpf_map.name}"), 0)
-        if spec.helper_id == H.BPF_FUNC_MAP_UPDATE_ELEM:
+        if helper_id == H.BPF_FUNC_MAP_UPDATE_ELEM:
             bpf_map = self._map_arg(regs[R1])
             key = self._buffer_arg(regs[R1 + 1], bpf_map.key_size)
             value = self._buffer_arg(regs[R1 + 2], bpf_map.value_size)
@@ -314,7 +377,7 @@ class Interpreter:
             except ValueError:
                 return (-1) & U64_MASK
             return 0
-        if spec.helper_id == H.BPF_FUNC_MAP_DELETE_ELEM:
+        if helper_id == H.BPF_FUNC_MAP_DELETE_ELEM:
             bpf_map = self._map_arg(regs[R1])
             key = self._buffer_arg(regs[R1 + 1], bpf_map.key_size)
             try:
@@ -322,7 +385,7 @@ class Interpreter:
             except ValueError:
                 return (-1) & U64_MASK
             return 0
-        if spec.helper_id == H.BPF_FUNC_RINGBUF_OUTPUT:
+        if helper_id == H.BPF_FUNC_RINGBUF_OUTPUT:
             bpf_map = self._map_arg(regs[R1])
             if bpf_map.KIND != "ringbuf":
                 raise RuntimeFault("bpf_ringbuf_output on non-ringbuf map")
@@ -330,21 +393,22 @@ class Interpreter:
             # reserve + copy + commit; a full ring is -ENOSPC (flattened
             # to -1 like the update helper), never a fault.
             return bpf_map.output(data) & U64_MASK
-        if spec.helper_id == H.BPF_FUNC_KTIME_GET_NS:
+        if helper_id == H.BPF_FUNC_KTIME_GET_NS:
             return int(self.time_ns()) & U64_MASK
-        if spec.helper_id == H.BPF_FUNC_TRACE_PRINTK:
+        if helper_id == H.BPF_FUNC_TRACE_PRINTK:
             value = regs[R1]
             if not isinstance(value, int):
                 raise RuntimeFault("trace_printk arg not scalar")
             self.printk_log.append(value)
             return 0
-        if spec.helper_id == H.BPF_FUNC_CACHED_PAGES:
+        if helper_id == H.BPF_FUNC_CACHED_PAGES:
             ino = regs[R1]
             if not isinstance(ino, int):
                 raise RuntimeFault("cached_pages arg not scalar")
             if self.page_stats is None:
                 return 0
             return int(self.page_stats.cached_pages(ino)) & U64_MASK
+        H.spec_for(helper_id)   # unknown id: raise the canonical KeyError
         raise RuntimeFault(f"helper {helper_id} not implemented")
 
     @staticmethod

@@ -90,6 +90,9 @@ class KprobeManager:
         Verifier(ctx_size=hook.ctx_size, kfuncs=self.kfuncs).verify(program)
         if self.fault_injector is not None:
             self.fault_injector.on_attach(name, program)
+        # Compile the now-verified program (and resolve its kfunc table)
+        # once at attach time so the first fire already runs native code.
+        self.interpreter.prepare(program)
         hook.programs.append(program)
 
     def map_capacity(self, requested: int) -> int:

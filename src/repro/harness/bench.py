@@ -1,0 +1,316 @@
+"""Perf-trajectory harness: ``python -m repro bench``.
+
+The reproduction's roadmap multiplies simulated-event counts (cluster
+fleets, policy sweeps, request trains), so the hot path's raw speed is a
+tracked artifact, not folklore.  This module runs a pinned subset of the
+figure matrix plus an eBPF-tier microbenchmark and writes the numbers to
+``BENCH_<issue>.json`` at the repo root.  The committed file is the
+baseline the CI smoke job compares a fresh ``--quick`` run against,
+failing on a >30% events/sec regression.
+
+What is measured per cell:
+
+* ``cold_seconds`` — wall time of a fresh scenario run (new kernel, new
+  caches; the figure-sweep unit of work),
+* ``warm_seconds`` — wall time of a :class:`ResultCache` hit for the
+  same spec (the memoized path figure builders take),
+* ``events`` / ``events_per_sec`` — DES events processed by the run's
+  :class:`~repro.sim.engine.Environment` divided by the cold wall time.
+  Event *counts* are deterministic per spec, so events/sec moves only
+  when the engine's raw speed does — that makes it comparable across
+  commits, unlike pure wall time.
+
+``pre_pr_seconds`` is the wall time of the same cell measured at the
+seed commit (813a371, before the compile tier / bitmap page sets /
+slim events landed); because event counts are deterministic,
+``speedup_vs_pre_pr`` is both a wall-time and an events/sec ratio.
+
+The eBPF microbenchmark runs the capture program (the hottest hook in
+snapbpf cells: it fires on every page-cache insertion) through both
+execution tiers — compiled closures and the ``REPRO_EBPF_INTERP=1``
+interpreter loop — and reports runs/sec for each.  The compiled tier is
+the default everywhere; the ratio documents what the tier buys.
+
+Timing cells run serially even when the shared ``--jobs`` flag is set:
+parallel workers contend for cores and would poison the wall-clock
+numbers the trajectory exists to track.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+import time
+from dataclasses import dataclass
+
+from repro.harness.experiment import ResultCache, make_kernel, run_scenario
+from repro.harness.spec import ScenarioSpec
+from repro.units import GIB
+
+#: Schema tag for BENCH_*.json; bump on layout changes.
+BENCH_SCHEMA = 1
+
+#: The issue number this trajectory file belongs to (file name suffix).
+BENCH_ISSUE = 8
+
+#: Default trajectory file at the repo root.
+DEFAULT_BENCH_PATH = f"BENCH_{BENCH_ISSUE}.json"
+
+#: CI smoke gate: fail when fresh events/sec drops below
+#: ``(1 - threshold)`` of the committed baseline.
+DEFAULT_REGRESSION_THRESHOLD = 0.30
+
+#: Microbenchmark program runs per tier (full / --quick).
+MICROBENCH_ROUNDS = 20_000
+MICROBENCH_ROUNDS_QUICK = 4_000
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One pinned figure-matrix cell in the trajectory."""
+
+    function: str
+    approach: str
+    n_instances: int
+    #: Frame-pool size in GiB (None = default pool, pressure plane off).
+    ram_gib: float | None = None
+    #: True for cells whose hot path is dominated by eBPF hook fires
+    #: (the cells the compile tier's >=2x acceptance gate applies to).
+    ebpf_heavy: bool = False
+    #: Included in ``--quick`` (CI smoke) runs.
+    quick: bool = False
+    #: Wall seconds for this cell measured at the seed commit, before
+    #: the raw-speed pass (same machine class as the committed file).
+    pre_pr_seconds: float | None = None
+
+    @property
+    def key(self) -> str:
+        suffix = f"+ram{self.ram_gib:g}" if self.ram_gib else ""
+        return f"{self.function}/{self.approach}x{self.n_instances}{suffix}"
+
+    def spec(self) -> ScenarioSpec:
+        return ScenarioSpec(
+            function=self.function, approach=self.approach,
+            n_instances=self.n_instances,
+            ram_bytes=(int(self.ram_gib * GIB) if self.ram_gib else None))
+
+
+#: The pinned subset: two eBPF-heavy snapbpf cells (one pressured, one
+#: large), one uffd baseline cell, and one cheap smoke pair for CI.
+BENCH_CELLS: tuple[BenchCell, ...] = (
+    BenchCell("json", "snapbpf", 4, ebpf_heavy=True, quick=True,
+              pre_pr_seconds=1.940),
+    BenchCell("html", "reap", 4, quick=True, pre_pr_seconds=1.063),
+    BenchCell("json", "snapbpf", 10, ram_gib=0.185, ebpf_heavy=True,
+              pre_pr_seconds=11.077),
+    BenchCell("bert", "snapbpf", 10, ebpf_heavy=True,
+              pre_pr_seconds=34.200),
+)
+
+
+def ebpf_microbench(rounds: int = MICROBENCH_ROUNDS) -> dict:
+    """Capture-program runs/sec on both execution tiers.
+
+    Fresh interpreter, ring buffer, and program per tier so neither
+    tier warms the other; the first (compiling) run is outside the
+    timed window for both.
+    """
+    from repro.core.progs import build_capture_program, make_events_ringbuf
+    from repro.ebpf.interp import Interpreter
+
+    ino = 31337
+    ctxs = [struct.pack("<QQ", ino, index) for index in range(rounds)]
+
+    def tier_runs_per_sec(use_compiled: bool) -> float:
+        interp = Interpreter()
+        interp.use_compiled = use_compiled
+        events = make_events_ringbuf("bench-events")
+        program = build_capture_program(ino, events)
+        interp.run(program, ctxs[0])  # warm-up (compile on first run)
+        run = interp.run
+        # Best of three trials: the shortest wall time is the one with
+        # the least host-scheduling interference (containerized CI
+        # neighbours make single-trial rates swing by tens of percent).
+        best = math.inf
+        for _ in range(3):
+            start = time.perf_counter()
+            for ctx in ctxs:
+                run(program, ctx)
+            best = min(best, time.perf_counter() - start)
+        return rounds / best
+
+    compiled = tier_runs_per_sec(True)
+    interpreted = tier_runs_per_sec(False)
+    return {
+        "rounds": rounds,
+        "compiled_runs_per_sec": round(compiled, 1),
+        "interp_runs_per_sec": round(interpreted, 1),
+        "speedup": round(compiled / interpreted, 2),
+    }
+
+
+def run_cell(cell: BenchCell) -> dict:
+    """Time one cell cold (fresh run) and warm (ResultCache hit)."""
+    spec = cell.spec()
+    # Build the kernel by hand so the run's Environment (and its
+    # events_processed counter) stays visible; mirrors _run_scenario's
+    # own construction exactly, pressure plane included.
+    kernel = make_kernel(spec.device_kind,
+                         ram_bytes=(spec.ram_bytes if spec.ram_bytes
+                                    is not None else 256 * GIB))
+    if spec.ram_bytes is not None:
+        kernel.reclaim.enable_watermarks()
+    start = time.perf_counter()
+    result = run_scenario(spec, kernel=kernel)
+    cold_seconds = time.perf_counter() - start
+    events = kernel.env.events_processed
+
+    cache = ResultCache()
+    cache.insert(spec, result)
+    start = time.perf_counter()
+    cache.get(spec)
+    warm_seconds = time.perf_counter() - start
+
+    record = {
+        "cell": cell.key,
+        "function": cell.function,
+        "approach": cell.approach,
+        "n_instances": cell.n_instances,
+        "ebpf_heavy": cell.ebpf_heavy,
+        "quick": cell.quick,
+        "events": events,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 6),
+        "events_per_sec": round(events / cold_seconds, 1),
+        "mean_e2e": result.mean_e2e,
+    }
+    if cell.pre_pr_seconds is not None:
+        record["pre_pr_seconds"] = cell.pre_pr_seconds
+        record["pre_pr_events_per_sec"] = round(
+            events / cell.pre_pr_seconds, 1)
+        record["speedup_vs_pre_pr"] = round(
+            cell.pre_pr_seconds / cold_seconds, 2)
+    return record
+
+
+def run_bench(quick: bool = False, progress=None) -> dict:
+    """The full harness: microbench + every (quick-eligible) cell.
+
+    ``progress`` is an optional ``str -> None`` callback for per-cell
+    status lines (the CLI points it at stderr).
+    """
+    started = time.perf_counter()
+    rounds = MICROBENCH_ROUNDS_QUICK if quick else MICROBENCH_ROUNDS
+    if progress:
+        progress(f"ebpf microbench ({rounds} rounds/tier)")
+    micro = ebpf_microbench(rounds)
+    cells = []
+    for cell in BENCH_CELLS:
+        if quick and not cell.quick:
+            continue
+        if progress:
+            progress(f"cell {cell.key}")
+        cells.append(run_cell(cell))
+    return {
+        "schema": BENCH_SCHEMA,
+        "issue": BENCH_ISSUE,
+        "quick": quick,
+        "ebpf_microbench": micro,
+        # The PR's acceptance gate: the compile tier must execute eBPF
+        # programs at >=2x the pre-PR rate (the pre-PR tier *is* the
+        # interpreter, still measurable via REPRO_EBPF_INTERP=1).  The
+        # gate is on program execution, not whole-cell wall time: eBPF
+        # was ~56% of the pre-PR snapbpf-cell profile, so even an
+        # infinite tier speedup caps whole-cell gains near 2.3x
+        # (observed: 1.1-1.4x, reported per cell above).
+        "ebpf_tier_gate": {
+            "required_speedup": 2.0,
+            "measured_speedup": micro["speedup"],
+            "pass": micro["speedup"] >= 2.0,
+        },
+        "cells": cells,
+        "total_wall_seconds": round(time.perf_counter() - started, 2),
+    }
+
+
+def compare(fresh: dict, baseline: dict,
+            threshold: float = DEFAULT_REGRESSION_THRESHOLD) -> list[str]:
+    """Regressions in ``fresh`` vs the committed ``baseline``.
+
+    Compares events/sec per cell (only cells present in both reports —
+    a ``--quick`` run checks against the quick subset of a full
+    baseline) and the microbench's compiled-tier runs/sec.  Returns
+    human-readable regression lines; empty means the gate passes.
+    """
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    floor = 1.0 - threshold
+    regressions: list[str] = []
+
+    base_micro = baseline.get("ebpf_microbench", {})
+    fresh_micro = fresh.get("ebpf_microbench", {})
+    base_rate = base_micro.get("compiled_runs_per_sec")
+    fresh_rate = fresh_micro.get("compiled_runs_per_sec")
+    if base_rate and fresh_rate and fresh_rate < floor * base_rate:
+        regressions.append(
+            f"ebpf microbench: compiled tier {fresh_rate:,.0f} runs/s "
+            f"< {floor:.0%} of baseline {base_rate:,.0f} runs/s")
+
+    base_cells = {c["cell"]: c for c in baseline.get("cells", [])}
+    for cell in fresh.get("cells", []):
+        base = base_cells.get(cell["cell"])
+        if base is None:
+            continue
+        if cell["events"] != base["events"]:
+            regressions.append(
+                f"{cell['cell']}: event count changed "
+                f"({base['events']} -> {cell['events']}); determinism "
+                f"broke or the workload changed — re-baseline explicitly")
+            continue
+        if cell["events_per_sec"] < floor * base["events_per_sec"]:
+            regressions.append(
+                f"{cell['cell']}: {cell['events_per_sec']:,.0f} events/s "
+                f"< {floor:.0%} of baseline "
+                f"{base['events_per_sec']:,.0f} events/s "
+                f"({cell['cold_seconds']:.2f}s vs "
+                f"{base['cold_seconds']:.2f}s cold)")
+    return regressions
+
+
+def render_bench(report: dict) -> str:
+    """The human-readable summary printed after a run."""
+    lines = []
+    micro = report["ebpf_microbench"]
+    gate = report.get("ebpf_tier_gate", {})
+    verdict = ""
+    if gate:
+        verdict = (f" (gate >= {gate['required_speedup']:.0f}x: "
+                   f"{'pass' if gate['pass'] else 'FAIL'})")
+    lines.append(
+        f"ebpf tiers: compiled {micro['compiled_runs_per_sec']:>11,.0f} "
+        f"runs/s | interp {micro['interp_runs_per_sec']:>11,.0f} runs/s "
+        f"| {micro['speedup']:.2f}x{verdict}")
+    header = (f"{'cell':28s} {'events':>10s} {'cold s':>8s} "
+              f"{'warm s':>9s} {'events/s':>11s} {'vs pre-PR':>9s}")
+    lines.append(header)
+    for cell in report["cells"]:
+        speedup = cell.get("speedup_vs_pre_pr")
+        lines.append(
+            f"{cell['cell']:28s} {cell['events']:>10,d} "
+            f"{cell['cold_seconds']:>8.3f} {cell['warm_seconds']:>9.6f} "
+            f"{cell['events_per_sec']:>11,.0f} "
+            f"{(f'{speedup:.2f}x' if speedup else '-'):>9s}")
+    lines.append(f"total wall {report['total_wall_seconds']:.1f}s")
+    return "\n".join(lines)
+
+
+def write_bench(report: dict, path: str) -> None:
+    with open(path, "w") as fp:
+        json.dump(report, fp, indent=1, sort_keys=False)
+        fp.write("\n")
+
+
+def load_bench(path: str) -> dict:
+    with open(path) as fp:
+        return json.load(fp)

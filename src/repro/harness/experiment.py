@@ -9,7 +9,6 @@ inputs) and measure per-sandbox E2E latency and system-wide peak memory.
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable
 
 from repro.baselines.base import Approach, approach_registry
@@ -39,54 +38,54 @@ def make_kernel(device_kind: str = "ssd", ram_bytes: int = 256 * GIB,
     return Kernel(env=env, device=device, ram_bytes=ram_bytes, costs=costs)
 
 
-def run_scenario(spec: ScenarioSpec | FunctionProfile,
-                 approach_factory: Callable[[Kernel], Approach] | str
-                 | None = None,
-                 n_instances: int = 1,
-                 input_seed: int = 0,
-                 vary_inputs: bool = False,
-                 device_kind: str = "ssd",
-                 costs: CostModel | None = None,
-                 kernel: Kernel | None = None) -> ScenarioResult:
+def run_scenario(spec: ScenarioSpec, *,
+                 kernel: Kernel | None = None,
+                 approach_factory: Callable[[Kernel], Approach]
+                 | None = None) -> ScenarioResult:
     """Run one scenario described by a :class:`ScenarioSpec`.
 
-    ``run_scenario(spec)`` is the canonical entrypoint; the legacy
-    ``run_scenario(profile, approach, n_instances=..., ...)`` form is a
-    deprecated shim kept for existing callers (it is also the only way
-    to pass an approach *factory* instead of a registry name, since a
-    callable cannot be hashed into a spec).
+    ``run_scenario(spec)`` is the only entrypoint; the historic
+    ``run_scenario(profile, approach, n_instances=..., ...)`` kwargs
+    form is gone.  Two keyword-only escape hatches cover what a
+    hashable spec cannot express:
 
-    ``vary_inputs=True`` gives every concurrent instance a *different*
+    * ``kernel`` — a pre-built (typically instrumented) host to run on
+      instead of a fresh default one; unusable with cluster specs.
+    * ``approach_factory`` — a callable ``kernel -> Approach`` used in
+      place of the registry lookup of ``spec.approach``, for ablation
+      variants that are not registered.  The spec's ``approach`` string
+      still labels the run; such runs must not be cached by spec (the
+      spec alone no longer determines the outcome).
+
+    ``spec.vary_inputs`` gives every concurrent instance a *different*
     input (trace seed), instead of the paper's identical-inputs setup —
     the varying-inputs deduplication study the paper leaves to future
-    work.  The record phase always uses ``input_seed``.
+    work.  The record phase always uses ``spec.input_seed``.
     """
-    if isinstance(spec, ScenarioSpec):
+    if not isinstance(spec, ScenarioSpec):
+        raise TypeError(
+            f"run_scenario takes a ScenarioSpec (repro.harness.spec), "
+            f"got {type(spec).__name__}; the legacy (profile, approach) "
+            f"kwargs form was removed")
+    if spec.cluster is not None:
+        if kernel is not None:
+            raise TypeError("cluster scenarios build one kernel per "
+                            "node; the kernel argument is not usable")
         if approach_factory is not None:
-            raise TypeError("pass either a ScenarioSpec or the legacy "
-                            "(profile, approach) pair, not both")
-        if spec.cluster is not None:
-            if kernel is not None:
-                raise TypeError("cluster scenarios build one kernel per "
-                                "node; the kernel argument is not usable")
-            # Deferred import: the cluster runner composes the platform
-            # stack on top of this module's layer.
-            from repro.cluster.runner import run_cluster_scenario
-            return run_cluster_scenario(spec)
-        return _run_scenario(spec.function, spec.approach,
-                             spec.n_instances, spec.input_seed,
-                             spec.vary_inputs, spec.device_kind,
-                             spec.costs, kernel,
-                             ram_bytes=spec.ram_bytes,
-                             evict_policy=spec.evict_policy)
-    warnings.warn(
-        "run_scenario(profile, approach, ...) is deprecated; pass a "
-        "ScenarioSpec (repro.harness.spec) instead",
-        DeprecationWarning, stacklevel=2)
-    if approach_factory is None:
-        raise TypeError("run_scenario(profile, ...) requires an approach")
-    return _run_scenario(spec, approach_factory, n_instances, input_seed,
-                         vary_inputs, device_kind, costs, kernel)
+            raise TypeError("cluster scenarios resolve approaches per "
+                            "node; approach_factory is not usable")
+        # Deferred import: the cluster runner composes the platform
+        # stack on top of this module's layer.
+        from repro.cluster.runner import run_cluster_scenario
+        return run_cluster_scenario(spec)
+    return _run_scenario(spec.function,
+                         (approach_factory if approach_factory is not None
+                          else spec.approach),
+                         spec.n_instances, spec.input_seed,
+                         spec.vary_inputs, spec.device_kind,
+                         spec.costs, kernel,
+                         ram_bytes=spec.ram_bytes,
+                         evict_policy=spec.evict_policy)
 
 
 def _run_scenario(profile: FunctionProfile,
@@ -304,26 +303,13 @@ class ResultCache:
         self._executed.inc()
         self.insert(spec, result)
 
-    def get(self, spec: ScenarioSpec | FunctionProfile,
-            approach_name: str | None = None,
-            n_instances: int = 1, input_seed: int = 0,
-            device_kind: str = "ssd", vary_inputs: bool = False,
-            costs: CostModel | None = None) -> ScenarioResult:
-        """Cached scenario run.  Canonical form: ``cache.get(spec)``;
-        the legacy ``cache.get(profile, approach, ...)`` form builds the
-        spec for the caller."""
+    def get(self, spec: ScenarioSpec) -> ScenarioResult:
+        """Cached scenario run, keyed by the spec."""
         if not isinstance(spec, ScenarioSpec):
-            if approach_name is None:
-                raise TypeError("cache.get(profile, ...) requires an "
-                                "approach name")
-            spec = ScenarioSpec(
-                function=spec, approach=approach_name,
-                n_instances=n_instances, input_seed=input_seed,
-                vary_inputs=vary_inputs, device_kind=device_kind,
-                costs=costs)
-        elif approach_name is not None:
-            raise TypeError("pass either a ScenarioSpec or the legacy "
-                            "(profile, approach) pair, not both")
+            raise TypeError(
+                f"ResultCache.get takes a ScenarioSpec, got "
+                f"{type(spec).__name__}; the legacy (profile, approach) "
+                f"kwargs form was removed")
         self._requests.inc()
         result = self.lookup(spec)
         if result is None:

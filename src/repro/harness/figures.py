@@ -182,7 +182,8 @@ def figure_3a(cache: ResultCache | None = None,
     approaches, n_instances = FIGURE_MATRIX["3a"]
     for approach in approaches:
         data.series[approach] = [
-            cache.get(p, approach, n_instances=n_instances).mean_e2e
+            cache.get(ScenarioSpec(function=p, approach=approach,
+                                   n_instances=n_instances)).mean_e2e
             for p in profiles]
     return data
 
@@ -194,7 +195,8 @@ def figure_3b(cache: ResultCache | None = None, functions=None,
     cache = cache or ResultCache()
     profiles = _profiles(functions)
     approaches, n_instances = FIGURE_MATRIX["3b"]
-    raw = {a: [cache.get(p, a, n_instances=n_instances).mean_e2e
+    raw = {a: [cache.get(ScenarioSpec(function=p, approach=a,
+                                      n_instances=n_instances)).mean_e2e
                for p in profiles] for a in approaches}
     data = FigureData(
         figure="3b",
@@ -224,8 +226,9 @@ def figure_3c(cache: ResultCache | None = None, functions=None) -> FigureData:
     approaches, n_instances = FIGURE_MATRIX["3c"]
     for approach in approaches:
         data.series[approach] = [
-            cache.get(p, approach,
-                      n_instances=n_instances).peak_memory_bytes / GIB
+            cache.get(ScenarioSpec(function=p, approach=approach,
+                                   n_instances=n_instances))
+            .peak_memory_bytes / GIB
             for p in profiles]
     return data
 
@@ -236,7 +239,8 @@ def figure_4(cache: ResultCache | None = None, functions=None) -> FigureData:
     cache = cache or ResultCache()
     profiles = _profiles(functions)
     approaches, n_instances = FIGURE_MATRIX["4"]
-    raw = {a: [cache.get(p, a, n_instances=n_instances).mean_e2e
+    raw = {a: [cache.get(ScenarioSpec(function=p, approach=a,
+                                      n_instances=n_instances)).mean_e2e
                for p in profiles] for a in approaches}
     data = FigureData(
         figure="4", ylabel="Normalized E2E latency (Linux-RA = 1.0)",
@@ -260,7 +264,8 @@ def overheads(cache: ResultCache | None = None, functions=None) -> FigureData:
         notes="map-load ms and fraction of E2E; paper: ~1-2 ms, <1%")
     load_ms, frac = [], []
     for p in profiles:
-        result = cache.get(p, "snapbpf", n_instances=1)
+        result = cache.get(ScenarioSpec(function=p, approach="snapbpf",
+                                        n_instances=1))
         load = result.extra.get("map_load_seconds", 0.0)
         load_ms.append(load * 1e3)
         frac.append(load / result.mean_e2e if result.mean_e2e else 0.0)

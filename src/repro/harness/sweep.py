@@ -877,3 +877,83 @@ class SweepRunner:
                     done=True)
                 telemetry.flush(phase="sweep done")
         return results
+
+
+@dataclass
+class SweepOptions:
+    """The shared sweep/supervision/chaos/serve knob surface, as one
+    value.
+
+    Every sweeping entry point (the ``run``/``fig``/``chaos``/
+    ``cluster``/``bench`` CLI commands, and any library caller that
+    wants CLI-equivalent behaviour) accepts the same knobs; this
+    dataclass is the single definition of their names and defaults, so
+    a new command inherits the whole surface by calling
+    :meth:`from_args` on a namespace parsed with the shared parent
+    parser (see ``repro.__main__``).
+
+    The factory methods resolve the raw knobs into live objects:
+    :meth:`make_store` (content-addressed result store or None),
+    :meth:`make_injector` (sweep-chaos fault injector or None), and
+    :meth:`make_runner` (a fully wired :class:`SweepRunner`).
+    """
+
+    jobs: int = 1
+    cache_dir: str | None = None
+    no_cache: bool = False
+    timeout: float | None = None
+    max_retries: int = 2
+    keep_going: bool = False
+    failure_manifest: str | None = None
+    sweep_kill_rate: float = 0.0
+    sweep_hang_rate: float = 0.0
+    sweep_tear_rate: float = 0.0
+    sweep_fault_seed: int = 0
+    serve: bool = False
+    serve_host: str = "127.0.0.1"
+    serve_port: int = 8040
+    serve_state: str | None = None
+    serve_hold: bool = False
+
+    @classmethod
+    def from_args(cls, args) -> "SweepOptions":
+        """Lift an ``argparse`` namespace parsed with the shared parent
+        parser into options; missing attributes keep their defaults, so
+        namespaces from commands that only opt into part of the surface
+        still resolve."""
+        fields = {f.name: f.default for f in
+                  cls.__dataclass_fields__.values()}
+        return cls(**{name: getattr(args, name, default)
+                      for name, default in fields.items()})
+
+    def make_store(self) -> ResultStore | None:
+        """``--cache-dir``/``--no-cache``, resolved to a store."""
+        if not self.cache_dir or self.no_cache:
+            return None
+        return ResultStore(self.cache_dir)
+
+    def make_injector(self):
+        """The ``--sweep-*-rate`` chaos knobs, resolved to a
+        :class:`~repro.faults.sweep.SweepFaultInjector` (or None when
+        all rates are zero)."""
+        if not (self.sweep_kill_rate or self.sweep_hang_rate
+                or self.sweep_tear_rate):
+            return None
+        from repro.faults.sweep import SweepFaultInjector
+        hang_seconds = 30.0
+        if self.timeout is not None:
+            # Hangs only matter relative to the deadline; outlive it.
+            hang_seconds = max(hang_seconds, 2.0 * self.timeout)
+        return SweepFaultInjector(
+            seed=self.sweep_fault_seed, kill_rate=self.sweep_kill_rate,
+            hang_rate=self.sweep_hang_rate, hang_seconds=hang_seconds,
+            tear_rate=self.sweep_tear_rate)
+
+    def make_runner(self, cache: ResultCache,
+                    telemetry=None) -> SweepRunner:
+        """A :class:`SweepRunner` wired up from the supervision knobs."""
+        return SweepRunner(cache, jobs=self.jobs, timeout=self.timeout,
+                           max_retries=self.max_retries,
+                           keep_going=self.keep_going,
+                           injector=self.make_injector(),
+                           telemetry=telemetry)

@@ -40,7 +40,7 @@ class SegfaultError(RuntimeError):
     """Access outside any VMA."""
 
 
-@dataclass
+@dataclass(slots=True)
 class PTE:
     """One page-table entry."""
 
@@ -51,7 +51,7 @@ class PTE:
     cow: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class VMA:
     """One mapped region of ``npages`` pages starting at page ``start``."""
 
@@ -296,13 +296,12 @@ class AddressSpace:
         is mapped here or resident in the page cache — the semantics
         FaaSnap's capture phase relies on.
         """
-        cache = self.kernel.page_cache
-        result = []
-        for vpn in range(vma.start, vma.end):
-            if vpn in self.pt:
-                result.append(True)
-            elif vma.file is not None:
-                result.append(cache.resident(vma.file.ino, vma.file_index(vpn)))
-            else:
-                result.append(False)
-        return result
+        pt = self.pt
+        if vma.file is None:
+            return [vpn in pt for vpn in range(vma.start, vma.end)]
+        # One bulk page-cache residency query for the whole mapping, then
+        # overlay the page-table presence.
+        cached = self.kernel.page_cache.residency_bytes(
+            vma.file.ino, vma.file_index(vma.start), vma.npages)
+        return [byte != 0 or (vma.start + i) in pt
+                for i, byte in enumerate(cached)]

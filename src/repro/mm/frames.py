@@ -23,7 +23,7 @@ class OutOfMemory(MemoryError):
     """Frame pool exhausted and reclaim could not free enough."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One physical 4 KiB frame."""
 
@@ -39,7 +39,7 @@ class Frame:
     owner: str | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryCounters:
     """Point-in-time usage, in frames."""
 

@@ -25,6 +25,7 @@ from repro.ebpf.kprobe import KprobeManager
 from repro.faults.retry import RetryPolicy
 from repro.metrics.registry import MetricsRegistry
 from repro.mm.frames import FILE, FrameAllocator, OutOfMemory
+from repro.mm.pageset import PageSet
 from repro.mm.reclaim import ReclaimController
 from repro.sim import Environment, Event
 from repro.storage.device import PRIO_READAHEAD
@@ -34,7 +35,7 @@ HOOK_ADD_TO_PAGE_CACHE = "add_to_page_cache_lru"
 HOOK_CTX_SIZE = 16  # (u64 ino, u64 index)
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
     """One cached file page."""
 
@@ -142,8 +143,13 @@ class PageCache:
         self.retry_policy = retry_policy
         self.stats = CacheStats(registry)
         self._entries: dict[tuple[int, int], CacheEntry] = {}
-        #: ino -> resident entry count, so cached_pages(ino) is O(1).
-        self._ino_pages: dict[int, int] = {}
+        #: Per-ino presence arrays mirroring ``_entries`` keys: byte-per-
+        #: page membership with the O(1) per-ino counts cached_pages()
+        #: promises (see repro.mm.pageset).
+        self._present = PageSet()
+        #: Subset of ``_present`` whose I/O has completed — resident()
+        #: (mincore's view) is a byte test, bulk-queried by mincore().
+        self._uptodate = PageSet()
         if HOOK_ADD_TO_PAGE_CACHE not in getattr(kprobes, "_hooks", {}):
             kprobes.declare_hook(HOOK_ADD_TO_PAGE_CACHE, HOOK_CTX_SIZE)
         #: The memory-pressure plane: split LRU lists, watermarks/kswapd
@@ -162,13 +168,17 @@ class PageCache:
 
     def resident(self, ino: int, index: int) -> bool:
         """mincore()'s view: present and uptodate."""
-        entry = self._entries.get((ino, index))
-        return entry is not None and entry.uptodate
+        return self._uptodate.test(ino, index)
+
+    def residency_bytes(self, ino: int, start: int, count: int) -> bytearray:
+        """Bulk resident() over [start, start + count), one byte per page
+        (the page-cache side of mincore(2))."""
+        return self._uptodate.residency_bytes(ino, start, count)
 
     def cached_pages(self, ino: int | None = None) -> int:
         if ino is None:
             return len(self._entries)
-        return self._ino_pages.get(ino, 0)
+        return self._present.count(ino)
 
     # -- insertion (the kprobe hook point) -------------------------------------
     def add_to_page_cache_lru(self, file: File, index: int) -> tuple[CacheEntry, float]:
@@ -178,16 +188,18 @@ class PageCache:
         attached to the hook run synchronously on this path).
         """
         key = (file.ino, index)
-        if key in self._entries:
+        if self._present.test(file.ino, index):
             raise ValueError(f"page {key} already in cache")
         # The allocator consults the reclaim plane itself (watermark
         # throttling, direct reclaim); OutOfMemory here means reclaim
-        # already tried and failed.
+        # already tried and failed.  The presence bit is set only after
+        # the allocation: eviction-policy programs running inside that
+        # reclaim must not see the page counted yet.
         frame = self.frames.alloc(FILE, ino=file.ino, index=index)
         entry = CacheEntry(ino=file.ino, index=index, frame=frame,
                            io_event=self.env.event())
         self._entries[key] = entry
-        self._ino_pages[file.ino] = self._ino_pages.get(file.ino, 0) + 1
+        self._present.add(file.ino, index)
         self.reclaim.page_added(key, entry)
         self.stats._adds.inc()
         cost = self.kprobes.fire(HOOK_ADD_TO_PAGE_CACHE,
@@ -224,8 +236,12 @@ class PageCache:
         run: list[CacheEntry] = []
         run_start = None
         oom = False
+        # One presence array probe per page instead of a tuple hash; the
+        # bytearray mutates in place under adds and reclaim evictions, so
+        # holding it across the loop is safe.
+        pmap = self._present.ensure(file.ino, file.size_pages)
         for index in range(start, start + count):
-            present = (file.ino, index) in self._entries
+            present = pmap[index] != 0
             if not present and oom and index != required:
                 continue
             if not present:
@@ -284,9 +300,11 @@ class PageCache:
                 return
             self._io_failed(entries, error)
             return
+        uptodate = self._uptodate
         for entry in entries:
             entry.frame.content = file.content(entry.index)
             entry.uptodate = True
+            uptodate.add(entry.ino, entry.index)
             event = entry.io_event
             entry.io_event = None
             if event is not None:
@@ -376,11 +394,8 @@ class PageCache:
         if self._entries.pop(key, None) is None:
             return
         self.reclaim.page_removed(key)
-        remaining = self._ino_pages.get(entry.ino, 0) - 1
-        if remaining > 0:
-            self._ino_pages[entry.ino] = remaining
-        else:
-            self._ino_pages.pop(entry.ino, None)
+        self._present.discard(entry.ino, entry.index)
+        self._uptodate.discard(entry.ino, entry.index)
         self.frames.free(entry.frame)
 
     def evict_entry(self, entry: CacheEntry) -> None:

@@ -28,7 +28,7 @@ from repro.units import DEFAULT_READAHEAD_PAGES
 MMAP_LOTSAMISS = 100
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadaheadPlan:
     """What the fault path should read for one miss."""
 
@@ -40,6 +40,9 @@ class ReadaheadPlan:
 
 class ReadaheadState:
     """Per-mapping readahead bookkeeping."""
+
+    __slots__ = ("ra_pages", "mmap_miss", "prev_index",
+                 "windows_issued", "pages_requested")
 
     def __init__(self, ra_pages: int = DEFAULT_READAHEAD_PAGES):
         if ra_pages < 0:

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from repro.ebpf.interp import pack_u64
 from repro.metrics.registry import MetricsRegistry
 from repro.mm.frames import OutOfMemory
+from repro.mm.pageset import PageValueMap
 
 #: The eviction-policy attach point: fired once per reclaim candidate.
 HOOK_MM_EVICT = "mm_evict_candidate"
@@ -258,8 +259,9 @@ class ReclaimController:
         #: Off until :meth:`enable_watermarks`; ``None`` keeps seed
         #: semantics (direct reclaim on exhaustion only, no kswapd).
         self.watermarks: Watermarks | None = None
-        #: (ino, index) -> HINT_* set via the snapbpf_evict_hint kfunc.
-        self.hints: dict[tuple[int, int], int] = {}
+        #: Per-ino HINT_* byte maps set via the snapbpf_evict_hint kfunc
+        #: (probed per reclaim candidate; see repro.mm.pageset).
+        self.hints = PageValueMap()
         #: Eviction order of the whole run, for determinism digests.
         self.eviction_log: list[tuple[int, int]] = []
         #: Fault plane (duck-typed MemFaultInjector): kswapd wakeups ask
@@ -283,14 +285,13 @@ class ReclaimController:
 
     def page_removed(self, key) -> None:
         self.lru.remove(key)
-        self.hints.pop(key, None)
+        self.hints.discard(key[0], key[1])
 
     def set_hint(self, ino: int, index: int, hint: int) -> None:
-        key = (ino, index)
         if hint == HINT_CLEAR:
-            self.hints.pop(key, None)
+            self.hints.discard(ino, index)
         else:
-            self.hints[key] = hint
+            self.hints.set(ino, index, hint)
         self.stats._hints.inc()
 
     # -- allocator integration ------------------------------------------------
@@ -434,7 +435,7 @@ class ReclaimController:
                 self.lru.activate(key)
                 self.stats._activations.inc()
                 continue
-            hint = self.hints.get(key, HINT_CLEAR)
+            hint = self.hints.get(key[0], key[1], HINT_CLEAR)
             if not desperate:
                 if hint == HINT_KEEP:
                     self.lru.rotate(key)

@@ -309,6 +309,10 @@ class Environment:
         #: default None costs one attribute check per event and the
         #: engine never imports the serve package.
         self.telemetry = None
+        #: Total events processed since construction.  Observation-only
+        #: (never consulted by the engine); the bench harness divides it
+        #: by wall time for its events/sec figure of merit.
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -350,6 +354,7 @@ class Environment:
             raise SimulationError("no scheduled events")
         when, _prio, _seq, event = heapq.heappop(self._heap)
         self._now = when
+        self.events_processed += 1
         event._run_callbacks()
         if not event._ok and not event._defused:
             # An unhandled failure (nothing waited on the event) is an

@@ -20,7 +20,7 @@ from collections import deque
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One trace event.  ``ph`` is the Chrome phase: X=complete, i=instant."""
 

@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.baselines.faasnap import FaaSnap, _subtract, coalesce
 from repro.harness.experiment import make_kernel, run_scenario
+from repro.harness.spec import ScenarioSpec
 from repro.workloads.trace import generate_trace, working_set_pages
 
 
@@ -121,15 +122,15 @@ class TestApproach:
         assert approach.inflation_ratio == 1.0
 
     def test_dedup_across_instances(self, tiny_profile):
-        single = run_scenario(tiny_profile, FaaSnap, n_instances=1)
-        ten = run_scenario(tiny_profile, FaaSnap, n_instances=10)
+        single = run_scenario(ScenarioSpec(tiny_profile, FaaSnap.name, n_instances=1))
+        ten = run_scenario(ScenarioSpec(tiny_profile, FaaSnap.name, n_instances=10))
         # Page-cache sharing: memory far below 10x a single instance.
         assert ten.peak_memory_bytes < 5 * single.peak_memory_bytes
 
     def test_allocations_filtered_via_zero_scan(self, tiny_profile):
-        result = run_scenario(tiny_profile, FaaSnap)
+        result = run_scenario(ScenarioSpec(tiny_profile, FaaSnap.name))
         from repro.baselines.linux import LinuxNoRA
-        nora = run_scenario(tiny_profile, LinuxNoRA)
+        nora = run_scenario(ScenarioSpec(tiny_profile, LinuxNoRA.name))
         # FaaSnap does not fetch allocation pages from the snapshot, but
         # it does read its (inflated) WS file: compare page-cache adds
         # for the snapshot ino indirectly via total read volume.

@@ -4,6 +4,7 @@
 from repro.baselines.faast import Faast
 from repro.baselines.reap import REAP
 from repro.harness.experiment import make_kernel, run_scenario
+from repro.harness.spec import ScenarioSpec
 from repro.workloads.trace import generate_trace, working_set_pages
 
 
@@ -20,8 +21,8 @@ def test_recorded_ws_excludes_allocations(tiny_profile):
 
 
 def test_less_io_than_reap(tiny_profile):
-    reap = run_scenario(tiny_profile, REAP)
-    faast = run_scenario(tiny_profile, Faast)
+    reap = run_scenario(ScenarioSpec(tiny_profile, REAP.name))
+    faast = run_scenario(ScenarioSpec(tiny_profile, Faast.name))
     assert faast.device_bytes_read < reap.device_bytes_read
     # Exactly the allocation pages are spared (single 4 KiB granularity).
     assert (reap.extra["ws_pages"] - faast.extra["ws_pages"]
@@ -50,8 +51,8 @@ def test_allocation_faults_served_as_zero_pages(tiny_profile):
 
 
 def test_still_no_dedup(tiny_profile):
-    single = run_scenario(tiny_profile, Faast, n_instances=1)
-    ten = run_scenario(tiny_profile, Faast, n_instances=10)
+    single = run_scenario(ScenarioSpec(tiny_profile, Faast.name, n_instances=1))
+    ten = run_scenario(ScenarioSpec(tiny_profile, Faast.name, n_instances=10))
     assert ten.peak_memory_bytes >= 8 * single.peak_memory_bytes
 
 

@@ -2,18 +2,19 @@
 
 from repro.baselines.linux import LinuxNoRA, LinuxRA
 from repro.harness.experiment import run_scenario
+from repro.harness.spec import ScenarioSpec
 
 
 def test_nora_issues_single_page_reads(kernel, tiny_profile):
-    result = run_scenario(tiny_profile, LinuxNoRA, kernel=kernel)
+    result = run_scenario(ScenarioSpec(tiny_profile, LinuxNoRA.name), kernel=kernel)
     # One request per major fault, 4 KiB each.
     assert result.device_bytes_read == result.cache_adds * 4096
     assert result.device_requests >= result.invocations[0].major_faults
 
 
 def test_ra_reads_fewer_requests_more_bytes(tiny_profile):
-    nora = run_scenario(tiny_profile, LinuxNoRA)
-    ra = run_scenario(tiny_profile, LinuxRA)
+    nora = run_scenario(ScenarioSpec(tiny_profile, LinuxNoRA.name))
+    ra = run_scenario(ScenarioSpec(tiny_profile, LinuxRA.name))
     assert ra.device_requests < nora.device_requests
     assert ra.device_bytes_read > nora.device_bytes_read  # over-fetch
     assert ra.mean_e2e < nora.mean_e2e
@@ -21,7 +22,7 @@ def test_ra_reads_fewer_requests_more_bytes(tiny_profile):
 
 def test_nora_fetches_exactly_touched_pages(tiny_profile):
     from repro.workloads.trace import generate_trace, working_set_pages
-    result = run_scenario(tiny_profile, LinuxNoRA)
+    result = run_scenario(ScenarioSpec(tiny_profile, LinuxNoRA.name))
     trace = generate_trace(tiny_profile, 0)
     # WS pages + ephemeral allocation pages (no PV filtering) + trigger.
     expected = len(working_set_pages(trace)) + tiny_profile.alloc_pages
@@ -29,8 +30,8 @@ def test_nora_fetches_exactly_touched_pages(tiny_profile):
 
 
 def test_dedup_across_concurrent_instances(tiny_profile):
-    single = run_scenario(tiny_profile, LinuxNoRA, n_instances=1)
-    ten = run_scenario(tiny_profile, LinuxNoRA, n_instances=10)
+    single = run_scenario(ScenarioSpec(tiny_profile, LinuxNoRA.name, n_instances=1))
+    ten = run_scenario(ScenarioSpec(tiny_profile, LinuxNoRA.name, n_instances=10))
     # Page-cache-backed restore: 10x instances read the data once.
     assert ten.device_bytes_read == single.device_bytes_read
     assert ten.peak_memory_bytes < 4 * single.peak_memory_bytes

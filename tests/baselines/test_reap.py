@@ -4,6 +4,7 @@ import pytest
 
 from repro.baselines.reap import REAP
 from repro.harness.experiment import make_kernel, run_scenario
+from repro.harness.spec import ScenarioSpec
 from repro.workloads.trace import generate_trace, working_set_pages
 
 
@@ -42,15 +43,15 @@ def test_record_order_matches_first_touch_order(prepared):
 
 
 def test_invocation_installs_only_anonymous_memory(tiny_profile):
-    result = run_scenario(tiny_profile, REAP, n_instances=1)
+    result = run_scenario(ScenarioSpec(tiny_profile, REAP.name, n_instances=1))
     inv = result.invocations[0]
     # Every touched page is private anon; nothing shared.
     assert inv.anon_bytes_at_end >= inv.pages_touched * 4096
 
 
 def test_no_dedup_across_instances(tiny_profile):
-    single = run_scenario(tiny_profile, REAP, n_instances=1)
-    ten = run_scenario(tiny_profile, REAP, n_instances=10)
+    single = run_scenario(ScenarioSpec(tiny_profile, REAP.name, n_instances=1))
+    ten = run_scenario(ScenarioSpec(tiny_profile, REAP.name, n_instances=10))
     # 10 instances re-read the WS file 10 times (direct I/O, no cache)
     # and hold 10 private copies.
     assert ten.device_bytes_read >= 9 * single.device_bytes_read
@@ -58,7 +59,7 @@ def test_no_dedup_across_instances(tiny_profile):
 
 
 def test_prefetch_suppresses_most_demand_faults(tiny_profile):
-    result = run_scenario(tiny_profile, REAP, n_instances=1)
+    result = run_scenario(ScenarioSpec(tiny_profile, REAP.name, n_instances=1))
     inv = result.invocations[0]
     # The preemptive installs should beat the vCPU to most pages.
     assert inv.uffd_faults < inv.pages_touched / 2

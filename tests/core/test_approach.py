@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.approach import PVPTEsOnly, SnapBPF
 from repro.harness.experiment import make_kernel, run_scenario
+from repro.harness.spec import ScenarioSpec
 from repro.mm.page_cache import HOOK_ADD_TO_PAGE_CACHE
 from repro.workloads.trace import generate_trace, working_set_pages
 
@@ -90,13 +91,13 @@ class TestInvocation:
         assert not kernel.page_cache.resident(ino, free_gfn)
 
     def test_map_load_overhead_small_fraction_of_e2e(self, tiny_profile):
-        result = run_scenario(tiny_profile, SnapBPF)
+        result = run_scenario(ScenarioSpec(tiny_profile, SnapBPF.name))
         load = result.extra["map_load_seconds"]
         assert 0 < load < 0.05 * result.mean_e2e
 
     def test_dedup_across_instances(self, tiny_profile):
-        single = run_scenario(tiny_profile, SnapBPF, n_instances=1)
-        ten = run_scenario(tiny_profile, SnapBPF, n_instances=10)
+        single = run_scenario(ScenarioSpec(tiny_profile, SnapBPF.name, n_instances=1))
+        ten = run_scenario(ScenarioSpec(tiny_profile, SnapBPF.name, n_instances=10))
         assert ten.device_bytes_read <= 1.1 * single.device_bytes_read
         assert ten.peak_memory_bytes < 5 * single.peak_memory_bytes
 
@@ -129,7 +130,7 @@ class TestPVOnly:
 
     def test_pv_only_avoids_allocation_io(self, alloc_heavy_profile):
         from repro.baselines.linux import LinuxRA
-        ra = run_scenario(alloc_heavy_profile, LinuxRA)
-        pv = run_scenario(alloc_heavy_profile, PVPTEsOnly)
+        ra = run_scenario(ScenarioSpec(alloc_heavy_profile, LinuxRA.name))
+        pv = run_scenario(ScenarioSpec(alloc_heavy_profile, PVPTEsOnly.name))
         assert pv.device_bytes_read < 0.6 * ra.device_bytes_read
         assert pv.mean_e2e < ra.mean_e2e

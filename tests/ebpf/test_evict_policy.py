@@ -128,7 +128,7 @@ def test_registration_idempotent(kernel):
 def test_evict_hint_rejects_unknown_hint(kernel):
     spec = kernel.kfuncs.get(SNAPBPF_EVICT_HINT)
     assert spec.func(1, 2, 99) == -22  # -EINVAL
-    assert kernel.reclaim.hints == {}
+    assert kernel.reclaim.hints.as_dict() == {}
 
 
 def test_evict_hint_keep_pins_page_against_reclaim():
@@ -145,7 +145,7 @@ def test_evict_hint_keep_pins_page_against_reclaim():
                                                  pack_u64(0, 0, 0, 0))
     assert verdict == 0  # kfunc returned success
     kernel.kprobes.detach(HOOK_MM_EVICT, pin)
-    assert kernel.reclaim.hints == {(file.ino, 0): HINT_KEEP}
+    assert kernel.reclaim.hints.as_dict() == {(file.ino, 0): HINT_KEEP}
 
     kernel.page_cache.populate(file, 100, 1)
     kernel.env.run()

@@ -1,0 +1,151 @@
+"""The perf-trajectory harness's pure parts, and SweepOptions.
+
+The timing paths (run_cell, ebpf_microbench) are exercised by the CI
+bench smoke job; here we pin the cheap logic: flag resolution, the
+regression comparator, and the report renderer.
+"""
+
+import argparse
+import pathlib
+
+import pytest
+
+from repro.harness import bench as B
+from repro.harness.sweep import SweepOptions, SweepRunner
+
+
+def _report(compiled=150_000.0, cells=None):
+    return {
+        "schema": B.BENCH_SCHEMA,
+        "issue": B.BENCH_ISSUE,
+        "quick": False,
+        "ebpf_microbench": {"rounds": 100,
+                            "compiled_runs_per_sec": compiled,
+                            "interp_runs_per_sec": compiled / 2,
+                            "speedup": 2.0},
+        "ebpf_tier_gate": {"required_speedup": 2.0,
+                           "measured_speedup": 2.0, "pass": True},
+        "cells": cells if cells is not None else [
+            {"cell": "json/snapbpfx4", "events": 82_296,
+             "cold_seconds": 1.5, "warm_seconds": 1e-5,
+             "events_per_sec": 54_864.0}],
+        "total_wall_seconds": 2.0,
+    }
+
+
+class TestCompare:
+    def test_clean_pass(self):
+        assert B.compare(_report(), _report()) == []
+
+    def test_events_per_sec_regression(self):
+        fresh = _report(cells=[
+            {"cell": "json/snapbpfx4", "events": 82_296,
+             "cold_seconds": 3.0, "warm_seconds": 1e-5,
+             "events_per_sec": 27_432.0}])
+        regressions = B.compare(fresh, _report())
+        assert len(regressions) == 1
+        assert "json/snapbpfx4" in regressions[0]
+
+    def test_microbench_regression(self):
+        regressions = B.compare(_report(compiled=90_000.0), _report())
+        assert len(regressions) == 1
+        assert "compiled tier" in regressions[0]
+
+    def test_within_threshold_passes(self):
+        # 20% slower is inside the 30% gate.
+        fresh = _report(cells=[
+            {"cell": "json/snapbpfx4", "events": 82_296,
+             "cold_seconds": 1.875, "warm_seconds": 1e-5,
+             "events_per_sec": 43_891.0}])
+        assert B.compare(fresh, _report()) == []
+
+    def test_changed_event_count_is_flagged(self):
+        # A different event count means determinism broke (or the
+        # workload changed) — never silently compare rates across it.
+        fresh = _report(cells=[
+            {"cell": "json/snapbpfx4", "events": 99,
+             "cold_seconds": 0.001, "warm_seconds": 1e-5,
+             "events_per_sec": 99_000.0}])
+        regressions = B.compare(fresh, _report())
+        assert len(regressions) == 1
+        assert "event count changed" in regressions[0]
+
+    def test_quick_subset_only_compares_shared_cells(self):
+        baseline = _report()
+        baseline["cells"].append(
+            {"cell": "bert/snapbpfx10", "events": 1_110_700,
+             "cold_seconds": 28.0, "warm_seconds": 1e-5,
+             "events_per_sec": 39_668.0})
+        assert B.compare(_report(), baseline) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            B.compare(_report(), _report(), threshold=0.0)
+
+
+def test_render_bench_mentions_gate_and_cells():
+    text = B.render_bench(_report())
+    assert "gate >= 2x: pass" in text
+    assert "json/snapbpfx4" in text
+
+
+def test_committed_trajectory_is_loadable_and_gated():
+    """The committed BENCH_*.json must stay schema-valid with a
+    passing tier gate — it is the baseline CI compares against."""
+    root = pathlib.Path(__file__).resolve().parents[2]
+    report = B.load_bench(str(root / B.DEFAULT_BENCH_PATH))
+    assert report["schema"] == B.BENCH_SCHEMA
+    assert report["ebpf_tier_gate"]["pass"] is True
+    assert report["ebpf_tier_gate"]["measured_speedup"] >= 2.0
+    keys = {cell["cell"] for cell in report["cells"]}
+    assert {c.key for c in B.BENCH_CELLS} <= keys
+
+
+class TestSweepOptions:
+    def test_defaults_match_parser_defaults(self):
+        opts = SweepOptions()
+        assert opts.jobs == 1
+        assert opts.max_retries == 2
+        assert opts.timeout is None
+        assert opts.serve_port == 8040
+
+    def test_from_args_partial_namespace(self):
+        # A namespace from a command that only opted into part of the
+        # flag surface still resolves; missing knobs keep defaults.
+        args = argparse.Namespace(jobs=4, timeout=12.5)
+        opts = SweepOptions.from_args(args)
+        assert opts.jobs == 4
+        assert opts.timeout == 12.5
+        assert opts.max_retries == 2
+        assert opts.cache_dir is None
+
+    def test_make_store_honors_no_cache(self, tmp_path):
+        assert SweepOptions().make_store() is None
+        cached = SweepOptions(cache_dir=str(tmp_path))
+        assert cached.make_store() is not None
+        assert SweepOptions(cache_dir=str(tmp_path),
+                            no_cache=True).make_store() is None
+
+    def test_make_injector_off_by_default(self):
+        assert SweepOptions().make_injector() is None
+
+    def test_make_injector_outlives_deadline(self):
+        injector = SweepOptions(sweep_hang_rate=1.0,
+                                timeout=60.0).make_injector()
+        assert injector is not None
+        assert injector.hang_seconds == 120.0
+
+    def test_make_injector_validates_rates(self):
+        with pytest.raises(ValueError):
+            SweepOptions(sweep_kill_rate=1.5).make_injector()
+
+    def test_make_runner_wiring(self):
+        opts = SweepOptions(jobs=3, timeout=9.0, max_retries=5,
+                            keep_going=True, sweep_kill_rate=0.5)
+        runner = opts.make_runner(cache=None)
+        assert isinstance(runner, SweepRunner)
+        assert runner.jobs == 3
+        assert runner.timeout == 9.0
+        assert runner.max_retries == 5
+        assert runner.keep_going is True
+        assert runner.injector is not None

@@ -4,6 +4,7 @@ import pytest
 
 from repro.baselines.base import approach_registry
 from repro.harness.experiment import ResultCache, make_kernel, run_scenario
+from repro.harness.spec import ScenarioSpec
 from repro.metrics.results import summarize
 
 
@@ -14,7 +15,7 @@ def test_registry_contains_all_seven_approaches():
 
 
 def test_run_scenario_by_name(tiny_profile):
-    result = run_scenario(tiny_profile, "linux-nora")
+    result = run_scenario(ScenarioSpec(tiny_profile, "linux-nora"))
     assert result.approach == "linux-nora"
     assert result.function == "tiny"
     assert result.n_instances == 1
@@ -24,15 +25,16 @@ def test_run_scenario_by_name(tiny_profile):
 
 
 def test_concurrent_instances_all_measured(tiny_profile):
-    result = run_scenario(tiny_profile, "linux-ra", n_instances=3)
+    result = run_scenario(ScenarioSpec(tiny_profile, "linux-ra",
+                                       n_instances=3))
     assert len(result.invocations) == 3
     assert {inv.vm_id for inv in result.invocations} == {"vm0", "vm1", "vm2"}
     assert result.max_e2e >= result.mean_e2e
 
 
 def test_deterministic_runs(tiny_profile):
-    a = run_scenario(tiny_profile, "snapbpf")
-    b = run_scenario(tiny_profile, "snapbpf")
+    a = run_scenario(ScenarioSpec(tiny_profile, "snapbpf"))
+    b = run_scenario(ScenarioSpec(tiny_profile, "snapbpf"))
     assert a.mean_e2e == b.mean_e2e
     assert a.peak_memory_bytes == b.peak_memory_bytes
     assert a.device_requests == b.device_requests
@@ -40,15 +42,17 @@ def test_deterministic_runs(tiny_profile):
 
 def test_device_stats_reset_after_prepare(tiny_profile):
     # Counters cover only the timed invocation phase, not the record run.
-    result = run_scenario(tiny_profile, "reap")
+    result = run_scenario(ScenarioSpec(tiny_profile, "reap"))
     assert result.prepare_seconds > 0
     # Invoke reads ~WS bytes, not WS + record volume.
     assert result.device_bytes_read < 3 * tiny_profile.ws_bytes
 
 
 def test_hdd_device_kind(tiny_profile):
-    ssd = run_scenario(tiny_profile, "linux-nora", device_kind="ssd")
-    hdd = run_scenario(tiny_profile, "linux-nora", device_kind="hdd")
+    ssd = run_scenario(ScenarioSpec(tiny_profile, "linux-nora",
+                                    device_kind="ssd"))
+    hdd = run_scenario(ScenarioSpec(tiny_profile, "linux-nora",
+                                    device_kind="hdd"))
     assert hdd.mean_e2e > 3 * ssd.mean_e2e
 
 
@@ -59,16 +63,16 @@ def test_unknown_device_kind_rejected():
 
 def test_result_cache_memoizes(tiny_profile):
     cache = ResultCache()
-    a = cache.get(tiny_profile, "linux-nora")
-    b = cache.get(tiny_profile, "linux-nora")
+    a = cache.get(ScenarioSpec(tiny_profile, "linux-nora"))
+    b = cache.get(ScenarioSpec(tiny_profile, "linux-nora"))
     assert a is b
     assert len(cache) == 1
-    cache.get(tiny_profile, "linux-nora", n_instances=2)
+    cache.get(ScenarioSpec(tiny_profile, "linux-nora", n_instances=2))
     assert len(cache) == 2
 
 
 def test_summarize_pivot(tiny_profile):
-    results = [run_scenario(tiny_profile, "linux-nora"),
-               run_scenario(tiny_profile, "snapbpf")]
+    results = [run_scenario(ScenarioSpec(tiny_profile, "linux-nora")),
+               run_scenario(ScenarioSpec(tiny_profile, "snapbpf"))]
     table = summarize(results)
     assert set(table["tiny"]) == {"linux-nora", "snapbpf"}

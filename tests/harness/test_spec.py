@@ -70,18 +70,21 @@ def test_invalid_specs_rejected(tiny_profile):
                      costs="cheap")
 
 
-def test_run_scenario_spec_is_canonical(tiny_profile):
-    spec = ScenarioSpec(function=tiny_profile, approach="snapbpf",
-                        n_instances=2)
-    via_spec = run_scenario(spec)
-    with pytest.warns(DeprecationWarning):
-        via_kwargs = run_scenario(tiny_profile, "snapbpf", n_instances=2)
-    assert via_spec == via_kwargs
-
-
-def test_run_scenario_rejects_mixed_forms(tiny_profile):
-    spec = ScenarioSpec(function=tiny_profile, approach="snapbpf")
-    with pytest.raises(TypeError):
-        run_scenario(spec, "snapbpf")
-    with pytest.raises(TypeError):
+def test_run_scenario_requires_a_spec(tiny_profile):
+    """The legacy run_scenario(profile, approach, ...) form is gone:
+    anything but a ScenarioSpec is a TypeError up front."""
+    with pytest.raises(TypeError, match="ScenarioSpec"):
         run_scenario(tiny_profile)
+    with pytest.raises(TypeError):
+        run_scenario(tiny_profile, "snapbpf")  # old positional approach
+    with pytest.raises(TypeError, match="ScenarioSpec"):
+        run_scenario({"function": "json", "approach": "snapbpf"})
+
+
+def test_run_scenario_approach_factory_overrides_registry(tiny_profile):
+    from repro.baselines.reap import REAP
+    spec = ScenarioSpec(function=tiny_profile, approach="reap")
+    via_name = run_scenario(spec)
+    via_factory = run_scenario(spec, approach_factory=REAP)
+    assert via_factory.approach == "reap"
+    assert via_factory == via_name

@@ -55,14 +55,23 @@ def test_store_rejects_schema_and_kind_mismatch(tmp_path, spec):
 
 # -- ResultCache on spec hashing -------------------------------------------
 
-def test_cache_get_accepts_spec_and_legacy_forms(tiny_profile):
+def test_cache_get_memoizes_by_spec(tiny_profile):
     cache = ResultCache()
     spec = ScenarioSpec(function=tiny_profile, approach="linux-nora",
                         n_instances=2)
     a = cache.get(spec)
-    b = cache.get(tiny_profile, "linux-nora", n_instances=2)
+    b = cache.get(ScenarioSpec(function=tiny_profile,
+                               approach="linux-nora", n_instances=2))
     assert a is b
     assert len(cache) == 1 and cache.executed == 1
+
+
+def test_cache_get_rejects_legacy_kwargs_form(tiny_profile):
+    cache = ResultCache()
+    with pytest.raises(TypeError):
+        cache.get(tiny_profile, "linux-nora")  # removed legacy form
+    with pytest.raises(TypeError):
+        cache.get(tiny_profile)
 
 
 def test_cache_distinguishes_cost_models(tiny_profile):
@@ -70,9 +79,9 @@ def test_cache_distinguishes_cost_models(tiny_profile):
     ``vary_inputs``), so a cost-model ablation silently reused the
     baseline's result."""
     cache = ResultCache()
-    base = cache.get(tiny_profile, "snapbpf")
-    scaled = cache.get(tiny_profile, "snapbpf",
-                       costs=CostModel().scaled(8.0))
+    base = cache.get(ScenarioSpec(tiny_profile, "snapbpf"))
+    scaled = cache.get(ScenarioSpec(tiny_profile, "snapbpf",
+                                    costs=CostModel().scaled(8.0)))
     assert len(cache) == 2
     assert base is not scaled
     assert scaled.mean_e2e > base.mean_e2e
@@ -80,8 +89,9 @@ def test_cache_distinguishes_cost_models(tiny_profile):
 
 def test_cache_distinguishes_vary_inputs(tiny_profile):
     cache = ResultCache()
-    cache.get(tiny_profile, "snapbpf", n_instances=4)
-    cache.get(tiny_profile, "snapbpf", n_instances=4, vary_inputs=True)
+    cache.get(ScenarioSpec(tiny_profile, "snapbpf", n_instances=4))
+    cache.get(ScenarioSpec(tiny_profile, "snapbpf", n_instances=4,
+                           vary_inputs=True))
     assert len(cache) == 2
 
 

@@ -1,12 +1,14 @@
 """The varying-inputs experiment path (paper §4 future work)."""
 
 from repro.harness.experiment import run_scenario
+from repro.harness.spec import ScenarioSpec
 
 
 def test_varying_inputs_changes_memory(tiny_profile):
-    identical = run_scenario(tiny_profile, "snapbpf", n_instances=6)
-    varying = run_scenario(tiny_profile, "snapbpf", n_instances=6,
-                           vary_inputs=True)
+    identical = run_scenario(ScenarioSpec(tiny_profile, "snapbpf",
+                                          n_instances=6))
+    varying = run_scenario(ScenarioSpec(tiny_profile, "snapbpf",
+                                        n_instances=6, vary_inputs=True))
     # Distinct inputs touch extra (input-dependent) pages: more memory,
     # more I/O, but nothing close to a per-instance copy.
     assert varying.peak_memory_bytes > identical.peak_memory_bytes
@@ -17,17 +19,18 @@ def test_varying_inputs_changes_memory(tiny_profile):
 def test_record_instance_uses_base_seed(tiny_profile):
     """Instance 0 always replays the recorded input, so its trace is
     fully covered by the captured working set even when varying."""
-    varying = run_scenario(tiny_profile, "snapbpf", n_instances=3,
-                           vary_inputs=True)
+    varying = run_scenario(ScenarioSpec(tiny_profile, "snapbpf",
+                                        n_instances=3, vary_inputs=True))
     by_id = {inv.vm_id: inv for inv in varying.invocations}
-    identical = run_scenario(tiny_profile, "snapbpf", n_instances=1)
+    identical = run_scenario(ScenarioSpec(tiny_profile, "snapbpf",
+                                          n_instances=1))
     assert by_id["vm0"].pages_touched == (
         identical.invocations[0].pages_touched)
 
 
 def test_vary_inputs_works_for_uffd_approaches(tiny_profile):
-    result = run_scenario(tiny_profile, "reap", n_instances=4,
-                          vary_inputs=True)
+    result = run_scenario(ScenarioSpec(tiny_profile, "reap",
+                                       n_instances=4, vary_inputs=True))
     assert len(result.invocations) == 4
     # Off-working-set pages were served on demand via uffd.
     assert any(inv.uffd_faults > 0 for inv in result.invocations)

@@ -3,10 +3,11 @@
 import pytest
 
 from repro.harness.experiment import run_scenario
+from repro.harness.spec import ScenarioSpec
 
 
 def test_breakdown_parts_nonnegative(tiny_profile):
-    result = run_scenario(tiny_profile, "snapbpf")
+    result = run_scenario(ScenarioSpec(tiny_profile, "snapbpf"))
     inv = result.invocations[0]
     for part, seconds in inv.breakdown.items():
         assert seconds >= 0, part
@@ -14,31 +15,37 @@ def test_breakdown_parts_nonnegative(tiny_profile):
 
 def test_breakdown_sums_to_at_most_e2e(tiny_profile):
     for approach in ("linux-nora", "reap", "snapbpf"):
-        inv = run_scenario(tiny_profile, approach).invocations[0]
+        inv = run_scenario(ScenarioSpec(tiny_profile,
+                                        approach)).invocations[0]
         total = sum(inv.breakdown.values())
         assert total <= inv.e2e_seconds * 1.001, approach
 
 
 def test_compute_matches_trace_budget(tiny_profile):
-    inv = run_scenario(tiny_profile, "linux-nora").invocations[0]
+    inv = run_scenario(ScenarioSpec(tiny_profile,
+                                    "linux-nora")).invocations[0]
     assert inv.compute_seconds == pytest.approx(
         tiny_profile.compute_seconds, rel=0.01)
 
 
 def test_nora_is_stall_dominated(tiny_profile):
-    inv = run_scenario(tiny_profile, "linux-nora").invocations[0]
+    inv = run_scenario(ScenarioSpec(tiny_profile,
+                                    "linux-nora")).invocations[0]
     assert inv.stall_seconds > inv.compute_seconds
 
 
 def test_prefetchers_reduce_stall(tiny_profile):
-    nora = run_scenario(tiny_profile, "linux-nora").invocations[0]
-    snapbpf = run_scenario(tiny_profile, "snapbpf").invocations[0]
+    nora = run_scenario(ScenarioSpec(tiny_profile,
+                                     "linux-nora")).invocations[0]
+    snapbpf = run_scenario(ScenarioSpec(tiny_profile,
+                                        "snapbpf")).invocations[0]
     assert snapbpf.stall_seconds < 0.2 * nora.stall_seconds
 
 
 def test_stall_excludes_charged_cpu(tiny_profile):
     """Stall is wall time inside fault paths; the CPU cost of those
     faults is reported separately and must not be double counted."""
-    inv = run_scenario(tiny_profile, "linux-nora").invocations[0]
+    inv = run_scenario(ScenarioSpec(tiny_profile,
+                                    "linux-nora")).invocations[0]
     assert inv.stall_seconds + inv.compute_seconds + inv.overhead_seconds \
         <= inv.e2e_seconds * 1.001

@@ -4,6 +4,7 @@ attach/detach discipline with many sandboxes."""
 
 from repro.core.approach import SnapBPF
 from repro.harness.experiment import make_kernel, run_scenario
+from repro.harness.spec import ScenarioSpec
 from repro.mm.page_cache import HOOK_ADD_TO_PAGE_CACHE
 from repro.workloads.trace import generate_trace
 
@@ -48,14 +49,15 @@ def test_snapbpf_programs_all_detached_after_concurrent_run(tiny_profile):
 def test_concurrent_instances_have_similar_latency(tiny_profile):
     """With shared-cache approaches, instance latencies cluster (no
     instance starves); the max/min spread stays small."""
-    result = run_scenario(tiny_profile, "snapbpf", n_instances=10)
+    result = run_scenario(ScenarioSpec(tiny_profile, "snapbpf",
+                                       n_instances=10))
     latencies = result.e2e_latencies
     assert max(latencies) < 1.5 * min(latencies)
 
 
 def test_scaling_concurrency_monotone_memory(tiny_profile):
-    peaks = [run_scenario(tiny_profile, "reap",
-                          n_instances=n).peak_memory_bytes
+    peaks = [run_scenario(ScenarioSpec(tiny_profile, "reap",
+                                       n_instances=n)).peak_memory_bytes
              for n in (1, 4, 8)]
     assert peaks[0] < peaks[1] < peaks[2]
 

@@ -42,7 +42,8 @@ def test_frozen():
 
 def test_custom_cost_model_reaches_simulation(tiny_profile):
     from repro.harness.experiment import run_scenario
-    slow = run_scenario(tiny_profile, "linux-nora",
-                        costs=CostModel().scaled(10.0))
-    fast = run_scenario(tiny_profile, "linux-nora")
+    from repro.harness.spec import ScenarioSpec
+    slow = run_scenario(ScenarioSpec(tiny_profile, "linux-nora",
+                                     costs=CostModel().scaled(10.0)))
+    fast = run_scenario(ScenarioSpec(tiny_profile, "linux-nora"))
     assert slow.mean_e2e > fast.mean_e2e

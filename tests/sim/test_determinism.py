@@ -5,6 +5,7 @@ assertion assumes reruns agree bit-for-bit.
 """
 
 from repro.harness.experiment import make_kernel, run_scenario
+from repro.harness.spec import ScenarioSpec
 from repro.platform import FaaSNode, poisson_arrivals
 from repro.workloads.profile import FunctionProfile
 from repro.units import MIB
@@ -34,8 +35,10 @@ def fingerprint(result):
 def test_scenario_determinism_all_approaches():
     for approach in ("linux-nora", "linux-ra", "reap", "faast",
                      "faasnap", "snapbpf", "pv-ptes"):
-        a = fingerprint(run_scenario(profile(), approach, n_instances=3))
-        b = fingerprint(run_scenario(profile(), approach, n_instances=3))
+        a = fingerprint(run_scenario(ScenarioSpec(profile(), approach,
+                                                  n_instances=3)))
+        b = fingerprint(run_scenario(ScenarioSpec(profile(), approach,
+                                                  n_instances=3)))
         assert a == b, f"{approach} is nondeterministic"
 
 
@@ -52,8 +55,10 @@ def test_node_determinism():
 
 
 def test_vary_inputs_determinism():
-    a = fingerprint(run_scenario(profile(), "snapbpf", n_instances=4,
-                                 vary_inputs=True))
-    b = fingerprint(run_scenario(profile(), "snapbpf", n_instances=4,
-                                 vary_inputs=True))
+    a = fingerprint(run_scenario(ScenarioSpec(profile(), "snapbpf",
+                                              n_instances=4,
+                                              vary_inputs=True)))
+    b = fingerprint(run_scenario(ScenarioSpec(profile(), "snapbpf",
+                                              n_instances=4,
+                                              vary_inputs=True)))
     assert a == b

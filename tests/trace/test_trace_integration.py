@@ -10,6 +10,7 @@ disagree.
 import pytest
 
 from repro.harness.experiment import make_kernel, run_scenario
+from repro.harness.spec import ScenarioSpec
 from repro.trace import chrome_trace
 
 
@@ -17,8 +18,8 @@ from repro.trace import chrome_trace
 def traced_run(tiny_profile):
     kernel = make_kernel("ssd")
     kernel.tracer.enable()
-    result = run_scenario(tiny_profile, "snapbpf", n_instances=2,
-                          kernel=kernel)
+    result = run_scenario(ScenarioSpec(tiny_profile, "snapbpf",
+                                       n_instances=2), kernel=kernel)
     return kernel, result
 
 
@@ -74,10 +75,12 @@ def test_device_spans_match_request_counter(traced_run):
 def test_tracing_off_is_free_and_identical(tiny_profile):
     traced_kernel = make_kernel("ssd")
     traced_kernel.tracer.enable()
-    traced = run_scenario(tiny_profile, "snapbpf", kernel=traced_kernel)
+    traced = run_scenario(ScenarioSpec(tiny_profile, "snapbpf"),
+                          kernel=traced_kernel)
 
     plain_kernel = make_kernel("ssd")
-    plain = run_scenario(tiny_profile, "snapbpf", kernel=plain_kernel)
+    plain = run_scenario(ScenarioSpec(tiny_profile, "snapbpf"),
+                         kernel=plain_kernel)
 
     assert len(plain_kernel.tracer) == 0
     # Tracing must be observation-only: identical simulated outcomes.
@@ -89,7 +92,7 @@ def test_tracing_off_is_free_and_identical(tiny_profile):
 def test_uffd_spans_for_userspace_baseline(tiny_profile):
     kernel = make_kernel("ssd")
     kernel.tracer.enable()
-    run_scenario(tiny_profile, "reap", kernel=kernel)
+    run_scenario(ScenarioSpec(tiny_profile, "reap"), kernel=kernel)
     uffd_spans = kernel.tracer.spans(cat="uffd")
     assert len(uffd_spans) > 0
     assert all(span.dur >= 0 for span in uffd_spans)
