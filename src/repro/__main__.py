@@ -21,6 +21,14 @@ Commands:
                                gateway (--policy, --nodes, --autoscale,
                                --node-crash-rate), or sweep routing
                                policies x node counts with --fig
+  traffic [FN [APPROACH]]      sweep the production traffic plane: Zipf
+                               popularity, diurnal + burst arrivals,
+                               multi-tenant mixes through the cluster
+                               fleet, comparing restore approaches x
+                               keep-alive policies (fixed TTL vs
+                               idle-time histograms) with per-tenant
+                               SLO tables; --quick shrinks it to CI
+                               size
   bench [--quick]              run the perf-trajectory harness: pinned
                                figure cells + the eBPF tier
                                microbenchmark, written to BENCH_*.json;
@@ -29,7 +37,8 @@ Commands:
                                a run started elsewhere with
                                --serve-state (HTTP + SSE + /metrics)
 
-``run``, ``fig``, ``chaos``, ``cluster``, and ``bench`` share the sweep
+``run``, ``fig``, ``chaos``, ``cluster``, ``traffic``, and ``bench``
+share the sweep
 flags (one parent parser, resolved into a single
 :class:`~repro.harness.sweep.SweepOptions` value handed to the runners):
 ``--jobs N`` fans independent scenario cells out over N worker
@@ -69,7 +78,9 @@ Examples:
   python -m repro trace json snapbpf -o restore.json --jsonl spans.jsonl
   python -m repro cluster json snapbpf --policy snapshot-locality --nodes 4
   python -m repro cluster json --fig --jobs 4 --cache-dir .sweep-cache
-  python -m repro bench --quick --compare BENCH_8.json
+  python -m repro traffic --quick --jobs 2
+  python -m repro traffic json snapbpf --rps 500 --duration 30
+  python -m repro bench --quick --compare BENCH_9.json
   python -m repro fig --all --serve --serve-port 8040
   python -m repro fig --all --serve-state /tmp/repro-state.json &
   python -m repro serve --attach /tmp/repro-state.json --port 8040
@@ -464,6 +475,88 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def cmd_traffic(args) -> int:
+    """Sweep the production-traffic figure (restore approaches x
+    keep-alive policies under Zipf/diurnal/burst multi-tenant load) and
+    print the figure plus the per-tenant SLO table."""
+    try:
+        profile = profile_by_name(args.function)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    from repro.cluster.keepalive import KEEPALIVE_POLICIES
+
+    keepalives = args.keepalives.split(",")
+    for name in keepalives:
+        if name not in KEEPALIVE_POLICIES:
+            print(f"error: unknown keep-alive policy {name!r}; choose "
+                  f"from {list(KEEPALIVE_POLICIES)}", file=sys.stderr)
+            return 2
+    approaches = ([args.approach] if args.approach
+                  else list(F.FIGURE_MATRIX["traffic"][0]))
+    traffic = F.default_traffic_spec(quick=args.quick)
+    overrides = {key: value for key, value in (
+        ("n_functions", args.traffic_functions),
+        ("n_tenants", args.tenants),
+        ("total_rps", args.rps),
+        ("duration", args.duration),
+        ("seed", args.traffic_seed)) if value is not None}
+    try:
+        if overrides:
+            traffic = dataclasses.replace(traffic, **overrides)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cluster_kwargs = dict(F.traffic_cluster_kwargs(quick=args.quick))
+    if args.nodes is not None:
+        cluster_kwargs["n_nodes"] = args.nodes
+    if args.slots is not None:
+        cluster_kwargs["overflow_inflight"] = args.slots
+
+    opts = SweepOptions.from_args(args)
+    cache = ResultCache(store=opts.make_store())
+    serving = _ServeContext(opts)
+    serving.attach_cache(cache)
+    runner = opts.make_runner(cache, telemetry=serving.hub)
+    try:
+        specs = [F.traffic_cell_spec(profile, a, keepalive,
+                                     traffic=traffic, **cluster_kwargs)
+                 for a in approaches for keepalive in keepalives]
+        _sweep(runner, specs, opts)
+        data = F.traffic_figure_data(cache, [profile], approaches,
+                                     keepalives=keepalives,
+                                     traffic=traffic, **cluster_kwargs)
+        print(render_figure(data))
+        # Per-tenant SLO table straight from the flattened extras.
+        for approach in approaches:
+            for keepalive in keepalives:
+                result = cache.get(F.traffic_cell_spec(
+                    profile, approach, keepalive, traffic=traffic,
+                    **cluster_kwargs))
+                print(f"{profile.name}/{approach} [{keepalive}]: "
+                      f"{result.extra['traffic_invocations']:.0f} "
+                      f"invocations, cold ratio "
+                      f"{result.extra['traffic_cold_ratio']:.4f}, "
+                      f"p99.9 E2E "
+                      f"{result.extra['traffic_p999_e2e'] * 1e3:.1f} ms")
+                print("  tenant   requests  cold-ratio   p99 e2e "
+                      "p99.9 e2e  p99 cold")
+                for tenant in range(traffic.n_tenants):
+                    row = {key: result.extra[f"slo_t{tenant}_{key}"]
+                           for key in ("requests", "cold_ratio",
+                                       "p99_e2e", "p999_e2e",
+                                       "p99_cold")}
+                    print(f"  t{tenant:<7d} {row['requests']:8.0f}  "
+                          f"{row['cold_ratio']:10.4f} "
+                          f"{row['p99_e2e'] * 1e3:8.1f}ms "
+                          f"{row['p999_e2e'] * 1e3:8.1f}ms "
+                          f"{row['p99_cold'] * 1e3:8.1f}ms")
+    finally:
+        serving.finish()
+    print(runner.last_stats.summary(), file=sys.stderr)
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Run the perf-trajectory harness and optionally gate on the
     committed ``BENCH_*.json`` baseline (CI smoke: ``bench --quick
@@ -715,6 +808,41 @@ def main(argv: list[str] | None = None) -> int:
     cluster_parser.add_argument("--device", choices=("ssd", "hdd"),
                                 default="ssd")
 
+    traffic_parser = sub.add_parser(
+        "traffic", help="sweep the production-traffic figure (approaches "
+                        "x keep-alive policies) with per-tenant SLOs",
+        parents=[sweep_flags])
+    traffic_parser.add_argument(
+        "function", nargs="?", default="json",
+        help="base function profile (service-time calibration shape "
+             "mix is fixed by the traffic spec; default: json)")
+    traffic_parser.add_argument(
+        "approach", nargs="?", default=None,
+        choices=sorted(approach_registry()),
+        help="restore approach (default: all four figure columns)")
+    traffic_parser.add_argument(
+        "--keepalives", default="fixed,histogram",
+        help="comma-separated keep-alive policies to compare")
+    traffic_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized workload (400 functions, 10s) instead of the "
+             "committed 10k-function figure scale")
+    traffic_parser.add_argument(
+        "--traffic-functions", type=int, default=None, metavar="N",
+        help="override the function-catalog size")
+    traffic_parser.add_argument("--tenants", type=int, default=None,
+                                help="override the tenant count")
+    traffic_parser.add_argument("--rps", type=float, default=None,
+                                help="override aggregate arrivals/sec")
+    traffic_parser.add_argument("--duration", type=float, default=None,
+                                help="override the stream duration (s)")
+    traffic_parser.add_argument("--traffic-seed", type=int, default=None,
+                                help="override the traffic seed")
+    traffic_parser.add_argument("--nodes", type=int, default=None,
+                                help="override the fleet size")
+    traffic_parser.add_argument("--slots", type=int, default=None,
+                                help="override per-node concurrency slots")
+
     bench_parser = sub.add_parser(
         "bench", help="run the perf-trajectory harness (BENCH_*.json)",
         parents=[sweep_flags])
@@ -764,8 +892,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     handler = {"list": cmd_list, "run": cmd_run, "table1": cmd_table1,
                "fig": cmd_fig, "chaos": cmd_chaos, "trace": cmd_trace,
-               "cluster": cmd_cluster, "bench": cmd_bench,
-               "serve": cmd_serve}[args.command]
+               "cluster": cmd_cluster, "traffic": cmd_traffic,
+               "bench": cmd_bench, "serve": cmd_serve}[args.command]
     try:
         return handler(args)
     except SweepFailure as exc:

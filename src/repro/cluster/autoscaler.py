@@ -31,7 +31,8 @@ class ClusterAutoscaler:
                  target_inflight: float = 4.0, min_nodes: int = 1,
                  max_nodes: int = 8, scale_interval: float = 0.5,
                  drain_idle_intervals: int = 4,
-                 node_boot_seconds: float = 0.5, tracer=None):
+                 node_boot_seconds: float = 0.5, tracer=None,
+                 keepalive=None):
         self.env = env
         self.gateway = gateway
         #: Builds a fresh (unprepared) node and registers it with the
@@ -47,6 +48,10 @@ class ClusterAutoscaler:
         self.drain_idle_intervals = drain_idle_intervals
         self.node_boot_seconds = node_boot_seconds
         self.tracer = tracer
+        #: Shared :class:`~repro.cluster.keepalive.KeepAlivePolicy`: its
+        #: pending pre-warms count as imminent load, so the fleet scales
+        #: ahead of predicted arrivals instead of reacting to them.
+        self.keepalive = keepalive
         self.scale_ups = 0
         self.scale_downs = 0
         self._booting = 0
@@ -77,7 +82,9 @@ class ClusterAutoscaler:
         if not up:
             return
         live = len(gateway.live_nodes())
-        load = sum(n.inflight for n in up) / len(up)
+        pending = (self.keepalive.pending_prewarms
+                   if self.keepalive is not None else 0)
+        load = (sum(n.inflight for n in up) + pending) / len(up)
 
         if (load > self.target_inflight and self._booting == 0
                 and live < self.max_nodes):

@@ -1,0 +1,176 @@
+"""Keep-alive policies: how long a warm sandbox stays parked.
+
+The fixed warm-pool TTL every node used until now treats a function
+invoked every 50 ms and one invoked every 30 s identically — wasteful
+for the first, useless for the second.  Production platforms instead
+learn per-function idle-time distributions and pick the keep-alive from
+a percentile (Shahrad et al., *Serverless in the Wild*, the
+histogram-policy FaaS scheduler Azure Functions shipped).
+
+A :class:`KeepAlivePolicy` answers three questions for the node:
+
+* ``observe(function, now)`` — an arrival happened; update state;
+* ``ttl(function)`` — how long to park this function's sandbox after an
+  invocation (``None`` = do not pool, tear down immediately);
+* ``prewarm_at(function, now)`` — after a pool entry expires, when (if
+  ever) to spawn a sandbox *ahead* of the predicted next arrival.
+
+One policy instance is shared by every node in a fleet (and consulted
+by the autoscaler for in-flight pre-warm load), so its view of a
+function's arrival history is cluster-wide — matching a platform-level
+scheduler, and keeping state O(functions), not O(nodes x functions).
+
+Determinism: policies are pure state machines over observed arrival
+times; no RNG, no wall clock.  Equal arrival streams produce equal TTL
+decisions whatever process replays them.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.registry import Histogram
+
+#: Registry of policy names for ClusterSpec validation / CLI choices.
+KEEPALIVE_POLICIES = ("fixed", "histogram")
+
+
+class KeepAlivePolicy:
+    """Base: per-function warm-pool TTL and pre-warm decisions."""
+
+    #: Pre-warm processes currently scheduled (maintained by the nodes,
+    #: read by the autoscaler as imminent load).
+    pending_prewarms: int = 0
+    #: End of the workload horizon; nodes set this so pre-warms are
+    #: never scheduled past the last possible arrival.
+    horizon: float | None = None
+
+    def observe(self, function: str, now: float) -> None:
+        """An arrival for ``function`` at sim-time ``now``."""
+
+    def ttl(self, function: str) -> float | None:
+        """Park duration after an invocation (``None`` = no pooling)."""
+        raise NotImplementedError
+
+    def prewarm_at(self, function: str, now: float) -> float | None:
+        """After a pool expiry at ``now``: sim-time to pre-warm a
+        sandbox for the predicted next arrival, or ``None``."""
+        return None
+
+
+class FixedTTLPolicy(KeepAlivePolicy):
+    """The historic behavior: one TTL for every function, no pre-warm.
+
+    ``FixedTTLPolicy(ttl)`` on a node is byte-identical to the old
+    ``warm_pool_ttl=ttl`` path (``None`` disables pooling outright).
+    """
+
+    def __init__(self, ttl: float | None):
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive or None, got {ttl}")
+        self._ttl = ttl
+
+    def ttl(self, function: str) -> float | None:
+        return self._ttl
+
+
+class HistogramKeepAlivePolicy(KeepAlivePolicy):
+    """Per-function idle-time histograms choose TTL and pre-warm windows.
+
+    Each arrival records the gap since the function's previous arrival
+    in a bounded log2-bucket :class:`Histogram`.  After ``min_samples``
+    gaps the TTL becomes the ``percentile``-th gap (clamped to
+    ``[min_ttl, max_ttl]``): frequently-invoked functions get a pool
+    that covers nearly all their gaps, rare functions stop hoarding
+    sandboxes.  When the *typical* gap (p50) exceeds the TTL — the pool
+    will lose the race — the policy instead pre-warms a sandbox just
+    before the predicted next arrival (``margin`` early, bounded by the
+    workload horizon).
+    """
+
+    def __init__(self, *, percentile: float = 99.0,
+                 min_ttl: float = 0.25, max_ttl: float = 8.0,
+                 default_ttl: float = 1.5, min_samples: int = 4,
+                 prewarm: bool = True, margin: float = 0.1):
+        if not 0 < percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], "
+                             f"got {percentile}")
+        if not 0 < min_ttl <= max_ttl:
+            raise ValueError(f"need 0 < min_ttl <= max_ttl, "
+                             f"got {min_ttl}..{max_ttl}")
+        if default_ttl <= 0:
+            raise ValueError("default_ttl must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if not 0 <= margin < 1:
+            raise ValueError(f"margin must be in [0, 1), got {margin}")
+        self.percentile = percentile
+        self.min_ttl = min_ttl
+        self.max_ttl = max_ttl
+        self.default_ttl = default_ttl
+        self.min_samples = min_samples
+        self.prewarm = prewarm
+        self.margin = margin
+        self._last_seen: dict[str, float] = {}
+        self._gaps: dict[str, Histogram] = {}
+
+    def _histogram(self, function: str) -> Histogram:
+        hist = self._gaps.get(function)
+        if hist is None:
+            # Standalone (unregistered) histogram: lock-free, 1 ms base
+            # covers gaps from 1 ms to ~12 days in 40 log2 buckets.
+            hist = Histogram(f"keepalive_gap_{function}", base=1e-3)
+            self._gaps[function] = hist
+        return hist
+
+    def observe(self, function: str, now: float) -> None:
+        last = self._last_seen.get(function)
+        if last is not None and now > last:
+            self._histogram(function).observe(now - last)
+        self._last_seen[function] = now
+
+    def ttl(self, function: str) -> float | None:
+        hist = self._gaps.get(function)
+        if hist is None or hist.count < self.min_samples:
+            return self.default_ttl
+        # Upper-bound percentile clamped to the observed max: a function
+        # arriving every g seconds exactly gets ttl == g (within clamp),
+        # so the pool covers its steady state with zero slack.
+        estimate = hist.percentile(self.percentile)
+        return min(self.max_ttl, max(self.min_ttl, estimate))
+
+    def prewarm_at(self, function: str, now: float) -> float | None:
+        if not self.prewarm:
+            return None
+        hist = self._gaps.get(function)
+        last = self._last_seen.get(function)
+        if hist is None or last is None or hist.count < self.min_samples:
+            return None
+        typical = hist.percentile(50.0)
+        current_ttl = self.ttl(function)
+        if current_ttl is None or typical <= current_ttl:
+            return None  # the pool already covers the typical gap
+        when = last + typical * (1.0 - self.margin)
+        if when <= now:
+            return None  # prediction already in the past
+        if self.horizon is not None and when >= self.horizon:
+            return None  # past the last possible arrival
+        return when
+
+    # -- introspection -------------------------------------------------------
+    def tracked_functions(self) -> int:
+        return len(self._gaps)
+
+
+def make_keepalive_policy(name: str, *, warm_pool_ttl: float | None = 1.5,
+                          percentile: float = 99.0, min_ttl: float = 0.25,
+                          max_ttl: float = 8.0, min_samples: int = 4,
+                          prewarm: bool = True) -> KeepAlivePolicy:
+    """Build a policy by registry name (ClusterSpec / CLI entry point)."""
+    if name == "fixed":
+        return FixedTTLPolicy(warm_pool_ttl)
+    if name == "histogram":
+        default = warm_pool_ttl if warm_pool_ttl is not None else 1.5
+        return HistogramKeepAlivePolicy(
+            percentile=percentile, min_ttl=min_ttl, max_ttl=max_ttl,
+            default_ttl=default, min_samples=min_samples, prewarm=prewarm)
+    raise ValueError(f"unknown keep-alive policy {name!r}; choose from "
+                     f"{', '.join(KEEPALIVE_POLICIES)}")

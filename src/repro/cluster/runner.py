@@ -40,6 +40,7 @@ from repro.cluster.gateway import (
     ClusterRequestResult,
     Gateway,
 )
+from repro.cluster.keepalive import make_keepalive_policy
 from repro.cluster.routing import make_routing_policy
 
 #: How often the fault plane rolls a crash die per routable node.
@@ -188,6 +189,9 @@ def run_cluster(spec, fault_config=None, fault_seed: int = 0,
     cspec = spec.cluster
     if cspec is None:
         raise ValueError("spec.cluster is not set; use run_scenario")
+    if cspec.traffic is not None:
+        raise ValueError("spec.cluster.traffic is set; use "
+                         "repro.cluster.traffic.run_traffic")
 
     env = Environment()
     tracer = tracer or Tracer()
@@ -198,6 +202,14 @@ def run_cluster(spec, fault_config=None, fault_seed: int = 0,
         overflow_inflight=cspec.overflow_inflight)
     gateway = Gateway(env, policy, registry=registry, tracer=tracer)
     kernels: list[Kernel] = []
+    # One keep-alive policy for the whole fleet (platform-level view of
+    # arrival history); nodes park/pre-warm through it, the autoscaler
+    # reads its pending pre-warms as imminent load.
+    keepalive = make_keepalive_policy(
+        cspec.keepalive, warm_pool_ttl=cspec.warm_pool_ttl,
+        percentile=cspec.keepalive_percentile,
+        min_ttl=cspec.keepalive_min_ttl, max_ttl=cspec.keepalive_max_ttl,
+        min_samples=cspec.keepalive_min_samples, prewarm=cspec.prewarm)
 
     if telemetry is not None:
         def fleet_topology() -> dict:
@@ -215,6 +227,7 @@ def run_cluster(spec, fault_config=None, fault_seed: int = 0,
         telemetry.attach_registry(registry)
         telemetry.attach_tracer(tracer)
         telemetry.attach_fleet_provider(fleet_topology)
+        telemetry.attach_engine(env)
         telemetry.flush(phase=f"cluster:{cspec.policy}")
 
     schedule = None
@@ -236,7 +249,8 @@ def run_cluster(spec, fault_config=None, fault_seed: int = 0,
         kernels.append(kernel)
         return FaaSNode(kernel, spec.approach, profiles,
                         warm_pool_ttl=cspec.warm_pool_ttl,
-                        request_deadline=cspec.request_deadline)
+                        request_deadline=cspec.request_deadline,
+                        keepalive=keepalive)
 
     def finish_boot(cnode) -> None:
         if spec.evict_policy is not None:
@@ -262,7 +276,8 @@ def run_cluster(spec, fault_config=None, fault_seed: int = 0,
             min_nodes=cspec.min_nodes, max_nodes=cspec.max_nodes,
             scale_interval=cspec.scale_interval,
             drain_idle_intervals=cspec.drain_idle_intervals,
-            node_boot_seconds=cspec.node_boot_seconds, tracer=tracer)
+            node_boot_seconds=cspec.node_boot_seconds, tracer=tracer,
+            keepalive=keepalive)
 
     # -- node-crash fault process -------------------------------------------
     crash_stop = {"flag": False}
@@ -286,6 +301,7 @@ def run_cluster(spec, fault_config=None, fault_seed: int = 0,
         [(p, cspec.rate_per_function) for p in profiles],
         cspec.duration, seed=spec.input_seed, vary_inputs=spec.vary_inputs)
     base = env.now
+    keepalive.horizon = base + cspec.duration
 
     def request(arrival):
         yield env.timeout(max(0.0, base + arrival.time - env.now))
@@ -340,7 +356,14 @@ def run_cluster_scenario(spec) -> ScenarioResult:
     every cluster-level statistic rides in ``extra`` as floats and the
     cluster registry snapshot in ``metrics`` — the exact-JSON-round-trip
     contract the warm result store depends on.
+
+    A spec whose cluster carries a :class:`~repro.workloads.traffic.
+    TrafficSpec` dispatches to the traffic plane (modeled-fidelity
+    nodes, production-shaped load) instead of the page-level fleet.
     """
+    if spec.cluster is not None and spec.cluster.traffic is not None:
+        from repro.cluster.traffic import run_traffic_scenario
+        return run_traffic_scenario(spec)
     report = run_cluster(spec)
     extra = {
         "cluster_requests": float(report.requests),

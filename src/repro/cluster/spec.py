@@ -17,7 +17,9 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
+from repro.cluster.keepalive import KEEPALIVE_POLICIES
 from repro.cluster.routing import ROUTING_POLICIES
+from repro.workloads.traffic import TrafficSpec
 
 
 @dataclass(frozen=True)
@@ -56,8 +58,29 @@ class ClusterSpec:
     #: snapshot-locality only: in-flight load on the ring-preferred node
     #: past which the request overflows to the warmest other node.
     overflow_inflight: int = 8
+    #: Keep-alive policy name (see
+    #: :data:`repro.cluster.keepalive.KEEPALIVE_POLICIES`).  ``fixed``
+    #: parks every sandbox for ``warm_pool_ttl``; ``histogram`` learns
+    #: per-function idle-time distributions (schema v4).
+    keepalive: str = "fixed"
+    #: histogram policy: idle-time percentile choosing the TTL.
+    keepalive_percentile: float = 99.0
+    #: histogram policy: TTL clamp bounds, seconds.
+    keepalive_min_ttl: float = 0.25
+    keepalive_max_ttl: float = 8.0
+    #: histogram policy: observed gaps before trusting the histogram
+    #: (``warm_pool_ttl`` serves as the default until then).
+    keepalive_min_samples: int = 4
+    #: histogram policy: pre-warm sandboxes ahead of predicted arrivals.
+    prewarm: bool = True
+    #: Production-shaped workload (overrides the uniform
+    #: n_functions x rate_per_function stream when set; schema v4).
+    traffic: TrafficSpec | None = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.traffic, dict):
+            object.__setattr__(self, "traffic",
+                               TrafficSpec.from_dict(self.traffic))
         if self.policy not in ROUTING_POLICIES:
             raise ValueError(
                 f"unknown routing policy {self.policy!r}; choose from "
@@ -89,13 +112,31 @@ class ClusterSpec:
             raise ValueError("node_boot_seconds must be >= 0")
         if self.overflow_inflight < 1:
             raise ValueError("overflow_inflight must be >= 1")
+        if self.keepalive not in KEEPALIVE_POLICIES:
+            raise ValueError(
+                f"unknown keep-alive policy {self.keepalive!r}; choose "
+                f"from {', '.join(KEEPALIVE_POLICIES)}")
+        if not 0 < self.keepalive_percentile <= 100:
+            raise ValueError("keepalive_percentile must be in (0, 100]")
+        if not 0 < self.keepalive_min_ttl <= self.keepalive_max_ttl:
+            raise ValueError(
+                f"need 0 < keepalive_min_ttl <= keepalive_max_ttl, got "
+                f"{self.keepalive_min_ttl}..{self.keepalive_max_ttl}")
+        if self.keepalive_min_samples < 1:
+            raise ValueError("keepalive_min_samples must be >= 1")
 
     def canonical(self) -> dict:
         """JSON-serializable dict with every outcome-determining field."""
-        return asdict(self)
+        data = asdict(self)
+        if self.traffic is not None:
+            data["traffic"] = self.traffic.canonical()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ClusterSpec":
+        data = dict(data)
+        if data.get("traffic") is not None:
+            data["traffic"] = TrafficSpec.from_dict(data["traffic"])
         return cls(**data)
 
     def __str__(self) -> str:  # pragma: no cover - display helper

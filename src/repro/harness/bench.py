@@ -52,7 +52,7 @@ from repro.units import GIB
 BENCH_SCHEMA = 1
 
 #: The issue number this trajectory file belongs to (file name suffix).
-BENCH_ISSUE = 8
+BENCH_ISSUE = 9
 
 #: Default trajectory file at the repo root.
 DEFAULT_BENCH_PATH = f"BENCH_{BENCH_ISSUE}.json"
@@ -83,13 +83,25 @@ class BenchCell:
     #: Wall seconds for this cell measured at the seed commit, before
     #: the raw-speed pass (same machine class as the committed file).
     pre_pr_seconds: float | None = None
+    #: Traffic-plane cell: the spec nests the CI-scale TrafficSpec (the
+    #: quick traffic-figure cell) and runs through the cluster runner,
+    #: so the trajectory tracks the traffic plane's events/sec too.
+    traffic: bool = False
 
     @property
     def key(self) -> str:
+        if self.traffic:
+            return f"traffic/{self.approach}+histogram"
         suffix = f"+ram{self.ram_gib:g}" if self.ram_gib else ""
         return f"{self.function}/{self.approach}x{self.n_instances}{suffix}"
 
     def spec(self) -> ScenarioSpec:
+        if self.traffic:
+            from repro.harness.figures import traffic_cell_spec
+            from repro.workloads.profile import profile_by_name
+            return traffic_cell_spec(profile_by_name(self.function),
+                                     self.approach, "histogram",
+                                     quick=True)
         return ScenarioSpec(
             function=self.function, approach=self.approach,
             n_instances=self.n_instances,
@@ -106,6 +118,7 @@ BENCH_CELLS: tuple[BenchCell, ...] = (
               pre_pr_seconds=11.077),
     BenchCell("bert", "snapbpf", 10, ebpf_heavy=True,
               pre_pr_seconds=34.200),
+    BenchCell("json", "snapbpf", 1, quick=True, traffic=True),
 )
 
 
@@ -153,18 +166,27 @@ def ebpf_microbench(rounds: int = MICROBENCH_ROUNDS) -> dict:
 def run_cell(cell: BenchCell) -> dict:
     """Time one cell cold (fresh run) and warm (ResultCache hit)."""
     spec = cell.spec()
-    # Build the kernel by hand so the run's Environment (and its
-    # events_processed counter) stays visible; mirrors _run_scenario's
-    # own construction exactly, pressure plane included.
-    kernel = make_kernel(spec.device_kind,
-                         ram_bytes=(spec.ram_bytes if spec.ram_bytes
-                                    is not None else 256 * GIB))
-    if spec.ram_bytes is not None:
-        kernel.reclaim.enable_watermarks()
-    start = time.perf_counter()
-    result = run_scenario(spec, kernel=kernel)
-    cold_seconds = time.perf_counter() - start
-    events = kernel.env.events_processed
+    if cell.traffic:
+        # Cluster runners build their own per-node kernels; the traffic
+        # report carries the aggregate event count instead.
+        start = time.perf_counter()
+        result = run_scenario(spec)
+        cold_seconds = time.perf_counter() - start
+        events = int(result.extra["traffic_events_processed"])
+    else:
+        # Build the kernel by hand so the run's Environment (and its
+        # events_processed counter) stays visible; mirrors
+        # _run_scenario's own construction exactly, pressure plane
+        # included.
+        kernel = make_kernel(spec.device_kind,
+                             ram_bytes=(spec.ram_bytes if spec.ram_bytes
+                                        is not None else 256 * GIB))
+        if spec.ram_bytes is not None:
+            kernel.reclaim.enable_watermarks()
+        start = time.perf_counter()
+        result = run_scenario(spec, kernel=kernel)
+        cold_seconds = time.perf_counter() - start
+        events = kernel.env.events_processed
 
     cache = ResultCache()
     cache.insert(spec, result)
@@ -183,8 +205,14 @@ def run_cell(cell: BenchCell) -> dict:
         "cold_seconds": round(cold_seconds, 4),
         "warm_seconds": round(warm_seconds, 6),
         "events_per_sec": round(events / cold_seconds, 1),
-        "mean_e2e": result.mean_e2e,
     }
+    if cell.traffic:
+        record["traffic_invocations"] = int(
+            result.extra["traffic_invocations"])
+        record["traffic_cold_ratio"] = result.extra["traffic_cold_ratio"]
+        record["p999_e2e"] = result.extra["traffic_p999_e2e"]
+    else:
+        record["mean_e2e"] = result.mean_e2e
     if cell.pre_pr_seconds is not None:
         record["pre_pr_seconds"] = cell.pre_pr_seconds
         record["pre_pr_events_per_sec"] = round(

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.baselines.base import approach_registry
 from repro.cluster.spec import ClusterSpec
 from repro.harness.experiment import ResultCache
+from repro.workloads.traffic import TrafficSpec
 from repro.harness.spec import ScenarioSpec
 from repro.units import GIB, PAGE_SIZE
 from repro.workloads.profile import FUNCTIONS, FunctionProfile, profile_by_name
@@ -39,6 +40,7 @@ FIGURE_MATRIX: dict[str, tuple[tuple[str, ...], int]] = {
     "overheads": (("snapbpf",), 1),
     "mem": (("linux-ra", "reap", "snapbpf"), CONCURRENT_INSTANCES),
     "cluster": (("linux-ra", "reap", "faasnap", "snapbpf"), 1),
+    "traffic": (("linux-ra", "reap", "faasnap", "snapbpf"), 1),
 }
 
 FIGURES: tuple[str, ...] = tuple(FIGURE_MATRIX)
@@ -62,6 +64,50 @@ def cluster_cell_spec(profile: FunctionProfile, approach: str,
         function=profile, approach=approach,
         cluster=ClusterSpec(n_nodes=n_nodes, policy=policy,
                             **cluster_kwargs))
+
+
+#: The traffic figure's keep-alive axis.
+TRAFFIC_KEEPALIVES = ("fixed", "histogram")
+
+#: Metrics plotted per (keep-alive, metric) row of the traffic figure:
+#: ScenarioResult.extra key and a display label.
+TRAFFIC_METRICS = (("traffic_cold_ratio", "cold-ratio"),
+                   ("traffic_p999_e2e", "p99.9-e2e"))
+
+
+def default_traffic_spec(quick: bool = False) -> TrafficSpec:
+    """The committed traffic-figure workload: 10k functions, ~1.3M total
+    invocations across the 4 approaches x 2 keep-alive cells (quick:
+    a CI-sized shrink of the same shape)."""
+    if quick:
+        return TrafficSpec(n_functions=400, n_tenants=4, total_rps=80.0,
+                           duration=10.0, diurnal_period=8.0, n_bursts=2,
+                           burst_multiplier=3.0, burst_duration=2.0)
+    return TrafficSpec(n_functions=10_000, n_tenants=8, total_rps=2500.0,
+                       duration=60.0, diurnal_period=40.0, n_bursts=6,
+                       burst_multiplier=3.0, burst_duration=5.0)
+
+
+def traffic_cluster_kwargs(quick: bool = False) -> dict:
+    """Fleet shape for one traffic cell (slots sized so the slowest
+    approach, linux-ra cold starts, fits below capacity outside bursts)."""
+    if quick:
+        return {"n_nodes": 3, "overflow_inflight": 8}
+    return {"n_nodes": 48, "overflow_inflight": 32}
+
+
+def traffic_cell_spec(profile: FunctionProfile, approach: str,
+                      keepalive: str,
+                      traffic: TrafficSpec | None = None,
+                      quick: bool = False,
+                      **cluster_kwargs) -> ScenarioSpec:
+    """The canonical spec for one traffic-figure cell."""
+    kwargs = {**traffic_cluster_kwargs(quick), **cluster_kwargs}
+    return ScenarioSpec(
+        function=profile, approach=approach,
+        cluster=ClusterSpec(
+            keepalive=keepalive,
+            traffic=traffic or default_traffic_spec(quick), **kwargs))
 
 #: Approaches whose restore installs private anonymous frames via
 #: userfaultfd (per-VM, unreclaimable) rather than shared page-cache
@@ -112,6 +158,10 @@ def figure_specs(figure: str, functions=None) -> list[ScenarioSpec]:
                 for p in _cluster_profiles(functions) for a in approaches
                 for policy in CLUSTER_POLICIES
                 for n_nodes in CLUSTER_NODE_COUNTS]
+    if figure == "traffic":
+        return [traffic_cell_spec(p, a, keepalive)
+                for p in _cluster_profiles(functions) for a in approaches
+                for keepalive in TRAFFIC_KEEPALIVES]
     if figure == "mem":
         return [
             ScenarioSpec(
@@ -337,6 +387,44 @@ def cluster_figure_data(cache: ResultCache, profiles, approaches,
     return data
 
 
+def traffic_figure_data(cache: ResultCache, profiles, approaches,
+                        keepalives=TRAFFIC_KEEPALIVES,
+                        traffic: TrafficSpec | None = None,
+                        quick: bool = False,
+                        **cluster_kwargs) -> FigureData:
+    """Keep-alive policy x metric rows, approach columns — shared by
+    :func:`figure_traffic` and the CLI's ``traffic`` command (which can
+    narrow the axes or shrink the workload)."""
+    rows = [(p, keepalive, key, label) for p in profiles
+            for keepalive in keepalives
+            for key, label in TRAFFIC_METRICS]
+    data = FigureData(
+        figure="traffic", ylabel="cold-start ratio / p99.9 E2E (s)",
+        functions=[f"{p.name} {keepalive} {label}"
+                   for p, keepalive, _, label in rows],
+        notes="histogram keep-alive learns per-function idle times; "
+              "fixed parks every sandbox for the same TTL")
+    for approach in approaches:
+        data.series[approach] = [
+            cache.get(traffic_cell_spec(p, approach, keepalive,
+                                        traffic=traffic, quick=quick,
+                                        **cluster_kwargs)).extra[key]
+            for p, keepalive, key, _ in rows]
+    return data
+
+
+def figure_traffic(cache: ResultCache | None = None,
+                   functions=None) -> FigureData:
+    """Traffic figure: production-shaped load (Zipf popularity, diurnal
+    + burst arrivals, multi-tenant mixes) through the cluster plane,
+    comparing the four restore approaches x keep-alive policies on
+    cold-start ratio and p99.9 E2E latency."""
+    cache = cache or ResultCache()
+    approaches, _ = FIGURE_MATRIX["traffic"]
+    return traffic_figure_data(cache, _cluster_profiles(functions),
+                               approaches)
+
+
 def figure_cluster(cache: ResultCache | None = None,
                    functions=None) -> FigureData:
     """Cluster figure: routing policy x fleet size sweep showing
@@ -357,6 +445,7 @@ FIGURE_BUILDERS = {
     "overheads": overheads,
     "mem": figure_mem,
     "cluster": figure_cluster,
+    "traffic": figure_traffic,
 }
 
 

@@ -32,7 +32,9 @@ from repro.workloads.profile import FunctionProfile, profile_by_name
 #: v2: memory-pressure plane (ram_bytes/evict_policy spec fields,
 #: end_anon/end_file result fields).
 #: v3: cluster plane (nested ClusterSpec field).
-SCHEMA_VERSION = 3
+#: v4: traffic plane (ClusterSpec keep-alive policy fields and nested
+#: TrafficSpec workload).
+SCHEMA_VERSION = 4
 
 _DEVICE_KINDS = ("ssd", "hdd")
 

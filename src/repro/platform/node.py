@@ -6,10 +6,14 @@ single shared kernel, so concurrent sandboxes of different functions
 compete for the same page cache and device — the cross-function
 interference a single-scenario run cannot show.
 
-Warm pooling: after an invocation the sandbox can be parked for
-``warm_pool_ttl`` seconds; a request finding a parked sandbox gets a
-*warm start* (no restore, EPT already populated) and only pool misses
-pay the cold-start path under test.
+Warm pooling: after an invocation the sandbox is parked for however
+long the node's :class:`~repro.cluster.keepalive.KeepAlivePolicy` says
+(the default fixed policy parks for ``warm_pool_ttl`` seconds); a
+request finding a parked sandbox gets a *warm start* (no restore, EPT
+already populated) and only pool misses pay the cold-start path under
+test.  Histogram policies can also *pre-warm*: spawn a sandbox ahead of
+the predicted next arrival after a pool entry expires, charging the
+cold start to the node instead of a request.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.baselines.base import Approach, approach_registry
+from repro.cluster.keepalive import FixedTTLPolicy, KeepAlivePolicy
 from repro.mm.kernel import Kernel
 from repro.platform.workload import Arrival, MemorySample
 from repro.units import USEC
@@ -115,7 +120,8 @@ class FaaSNode:
                  approach_factory: Callable[[Kernel], Approach] | str,
                  profiles: list[FunctionProfile],
                  warm_pool_ttl: float | None = None,
-                 request_deadline: float | None = None):
+                 request_deadline: float | None = None,
+                 keepalive: KeepAlivePolicy | None = None):
         if isinstance(approach_factory, str):
             approach_factory = approach_registry()[approach_factory]
         self.kernel = kernel
@@ -123,6 +129,11 @@ class FaaSNode:
         self.approaches: dict[str, Approach] = {
             p.name: approach_factory(kernel) for p in profiles}
         self.warm_pool_ttl = warm_pool_ttl
+        #: Keep-alive policy deciding park TTLs and pre-warm windows.
+        #: Default reproduces the historic fixed-TTL path exactly.
+        self.keepalive = (keepalive if keepalive is not None
+                          else FixedTTLPolicy(warm_pool_ttl))
+        self._in_service = True
         #: Wall-clock budget per request.  Past it the request reports a
         #: "timeout" result; the in-flight attempt is abandoned (it still
         #: finishes in the background and cleans up its sandbox).
@@ -148,6 +159,8 @@ class FaaSNode:
             "node_cold_starts_total", "requests served by a cold start")
         self._m_warm = metrics.counter(
             "node_warm_starts_total", "requests served from the warm pool")
+        self._m_prewarms = metrics.counter(
+            "node_prewarms_total", "sandboxes spawned ahead of arrivals")
 
     # -- lifecycle ----------------------------------------------------------------
     def prepare(self):
@@ -173,6 +186,7 @@ class FaaSNode:
         if not self.prepared:
             raise RuntimeError("node.prepare() has not run")
         env = self.kernel.env
+        self.keepalive.observe(arrival.function, env.now)
         profile = self.profiles[arrival.function]
         approach = self.approaches[arrival.function]
         trace = generate_trace(profile, arrival.input_seed)
@@ -259,27 +273,68 @@ class FaaSNode:
             if vm is not None and not vm.space.dead:
                 vm.teardown()
             raise
-        if self.warm_pool_ttl is not None:
-            self._park(vm, arrival.function)
+        ttl = self.keepalive.ttl(arrival.function)
+        if ttl is not None:
+            self._park(vm, arrival.function, ttl)
         else:
             vm.teardown()
 
-    def _park(self, vm: MicroVM, function: str) -> None:
+    def _park(self, vm: MicroVM, function: str, ttl: float) -> None:
         env = self.kernel.env
         vm._parked = True
+        # Each park gets a fresh token so a stale reaper (from a park
+        # whose sandbox was popped and re-parked before the TTL fired)
+        # cannot tear down the *new* park's sandbox.
+        token = object()
+        vm._park_token = token
         self._pool[function].append(vm)
 
         def reaper():
-            yield env.timeout(self.warm_pool_ttl)
-            if getattr(vm, "_parked", False):
+            yield env.timeout(ttl)
+            if (getattr(vm, "_parked", False)
+                    and getattr(vm, "_park_token", None) is token):
                 vm._parked = False
                 try:
                     self._pool[function].remove(vm)
                 except ValueError:
                     pass
                 vm.teardown()
+                self._maybe_prewarm(function)
 
         env.process(reaper(), name=f"reaper-{vm.vm_id}")
+
+    def _maybe_prewarm(self, function: str) -> None:
+        """Pool entry expired: ask the policy whether (and when) to spawn
+        a sandbox ahead of the predicted next arrival."""
+        env = self.kernel.env
+        when = self.keepalive.prewarm_at(function, env.now)
+        if when is None or not self._in_service:
+            return
+        self.keepalive.pending_prewarms += 1
+
+        def prewarm():
+            try:
+                yield env.timeout(max(0.0, when - env.now))
+                if not self._in_service or self._pool[function]:
+                    return  # shut down, or an arrival already re-parked
+                profile = self.profiles[function]
+                approach = self.approaches[function]
+                self._vm_seq += 1
+                vm_id = f"{function}-prewarm-{self._vm_seq}"
+                try:
+                    vm = yield from approach.spawn(profile, vm_id=vm_id)
+                except IOError:
+                    return  # media error: abandon the speculative spawn
+                self._m_prewarms.inc()
+                ttl = self.keepalive.ttl(function)
+                if ttl is not None and self._in_service:
+                    self._park(vm, function, ttl)
+                else:
+                    vm.teardown()
+            finally:
+                self.keepalive.pending_prewarms -= 1
+
+        env.process(prewarm(), name=f"prewarm-{function}")
 
     # -- workload driver ----------------------------------------------------------------
     def run(self, arrivals: list[Arrival],
@@ -328,6 +383,7 @@ class FaaSNode:
         counts it as rebalance evictions).  In-flight attempts finish in
         the background against the empty cache.
         """
+        self._in_service = False
         for pool in self._pool.values():
             for vm in list(pool):
                 vm._parked = False

@@ -6,6 +6,7 @@ import random
 from dataclasses import dataclass
 
 from repro.workloads.profile import FunctionProfile
+from repro.workloads.trace import ConstantRate
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,12 @@ def poisson_arrivals(mix: list[tuple[FunctionProfile, float]],
     With ``vary_inputs`` each request carries a distinct input seed
     (exercising the input-dependent working-set fraction); otherwise all
     requests use input 0, the paper's identical-inputs setup.
+
+    Sampling goes through the shared :class:`~repro.workloads.trace.
+    ArrivalProcess` path (a :class:`ConstantRate` per mix entry over one
+    seeded RNG), which for a constant rate consumes exactly one
+    expovariate per point — seeded sequences are byte-identical to the
+    historic single-rate generator.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
@@ -42,13 +49,10 @@ def poisson_arrivals(mix: list[tuple[FunctionProfile, float]],
     for profile, rate in mix:
         if rate <= 0:
             raise ValueError(f"{profile.name}: rate must be positive")
-        t = rng.expovariate(rate)
-        index = 0
-        while t < duration:
+        process = ConstantRate(rate)
+        for index, t in enumerate(process.sample(rng, duration)):
             arrivals.append(Arrival(
                 time=t, function=profile.name,
                 input_seed=index if vary_inputs else 0))
-            t += rng.expovariate(rate)
-            index += 1
     arrivals.sort(key=lambda a: (a.time, a.function))
     return arrivals

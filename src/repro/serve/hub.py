@@ -80,6 +80,11 @@ class TelemetryHub:
         self._registry = registry
         self._tracer = tracer
         self._fleet_provider: Callable[[], dict] | None = None
+        self._engine = None
+        self._tenant_counts: dict[int, int] | None = None
+        #: (wall monotonic, events_processed, invocations) at the last
+        #: snapshot build — the deltas behind the live rates.
+        self._last_throughput: tuple[float, int, float] | None = None
         self.span_ring = span_ring
         self.sim_interval = sim_interval
         self.wall_interval = wall_interval
@@ -106,6 +111,20 @@ class TelemetryHub:
         publisher's thread; it must return a fresh dict each call."""
         with self._lock:
             self._fleet_provider = provider
+
+    def attach_engine(self, engine) -> None:
+        """Expose a DES :class:`~repro.sim.Environment`'s progress: its
+        ``events_processed`` counter and a wall-delta events/sec rate
+        appear in the snapshot's ``throughput`` section."""
+        with self._lock:
+            self._engine = engine
+            self._last_throughput = None
+
+    def attach_tenant_counts(self, counts: dict[int, int]) -> None:
+        """Live per-tenant request counters (the traffic runner mutates
+        the dict in place; the hub reads it at snapshot-build time)."""
+        with self._lock:
+            self._tenant_counts = counts
 
     # -- publication (publisher side) ---------------------------------------
     def on_sim_event(self, now: float) -> None:
@@ -177,9 +196,36 @@ class TelemetryHub:
             "histograms": {},
             "sweep": dict(self._sweep),
             "fleet": {},
+            "throughput": {},
             "spans": [],
             "spans_dropped": 0,
         }
+        engine = self._engine
+        if engine is not None:
+            now = time.monotonic()
+            events = engine.events_processed
+            invocations = 0.0
+            per_tenant: dict[str, float] = {}
+            counts = self._tenant_counts
+            if counts is not None:
+                for tenant in sorted(counts):
+                    per_tenant[str(tenant)] = float(counts[tenant])
+                invocations = float(sum(counts.values()))
+            events_rate = 0.0
+            inv_rate = 0.0
+            last = self._last_throughput
+            if last is not None and now > last[0]:
+                dt = now - last[0]
+                events_rate = max(0.0, (events - last[1]) / dt)
+                inv_rate = max(0.0, (invocations - last[2]) / dt)
+            self._last_throughput = (now, events, invocations)
+            state["throughput"] = {
+                "events_processed": events,
+                "events_per_sec": events_rate,
+                "invocations": invocations,
+                "invocations_per_sec": inv_rate,
+                "tenants": per_tenant,
+            }
         registry = self._registry
         if registry is not None:
             with registry.lock:
@@ -236,7 +282,8 @@ class TelemetryHub:
                 return {"schema": SERVE_SCHEMA, "version": 0,
                         "phase": self._phase, "metrics": {},
                         "histograms": {}, "sweep": {}, "fleet": {},
-                        "spans": [], "spans_dropped": 0,
+                        "throughput": {}, "spans": [],
+                        "spans_dropped": 0,
                         "sim_time": 0.0, "wall_time": time.time()}
             return self._state
 

@@ -68,6 +68,27 @@ function renderSweep(sweep) {
   }
 }
 
+function renderThroughput(throughput) {
+  const row = $("throughput-tiles");
+  row.replaceChildren();
+  if (!throughput || !("events_processed" in throughput)) {
+    const p = document.createElement("p");
+    p.className = "empty";
+    p.textContent = "no engine attached (traffic/cluster runs only)";
+    row.append(p);
+    return;
+  }
+  row.append(tile("engine events", fmt(throughput.events_processed),
+                  `${fmt(throughput.events_per_sec, 0)} /s`));
+  row.append(tile("invocations", fmt(throughput.invocations),
+                  `${fmt(throughput.invocations_per_sec, 0)} /s`));
+  const tenants = throughput.tenants || {};
+  for (const id of Object.keys(tenants).sort(
+      (a, b) => Number(a) - Number(b))) {
+    row.append(tile(`tenant ${id}`, fmt(tenants[id]), "requests"));
+  }
+}
+
 function renderLatency(histograms) {
   const row = $("latency-tiles");
   row.replaceChildren();
@@ -167,6 +188,7 @@ function render(state) {
   $("sim-time").textContent = fmt(state.sim_time || 0, 3);
   $("phase").textContent = state.phase || "idle";
   renderSweep(state.sweep || {});
+  renderThroughput(state.throughput || {});
   renderLatency(state.histograms || {});
   renderFleet(state.fleet || {});
   renderSpans(state.spans || [], state.spans_dropped || 0);

@@ -202,3 +202,70 @@ class TestStateFileAttach:
             {"schema": SERVE_SCHEMA + 1, "version": 9}))
         assert not watcher.poll_once()          # newer schema refused
         assert consumer.version == 0
+
+
+class FakeEngine:
+    def __init__(self):
+        self.events_processed = 0
+
+
+class TestThroughputSection:
+    def test_stub_and_engineless_states_have_empty_throughput(self):
+        assert TelemetryHub().state()["throughput"] == {}
+        hub = TelemetryHub(wall_interval=0.0)
+        hub.flush()
+        assert hub.state()["throughput"] == {}
+
+    def test_engine_progress_and_tenant_counters_surface(self):
+        hub = TelemetryHub(wall_interval=0.0)
+        engine = FakeEngine()
+        counts = {0: 0, 1: 0}
+        hub.attach_engine(engine)
+        hub.attach_tenant_counts(counts)
+
+        engine.events_processed = 120
+        counts[0] = 7
+        counts[1] = 3
+        hub.flush()
+        t = hub.state()["throughput"]
+        assert t["events_processed"] == 120
+        assert t["invocations"] == 10.0
+        assert t["tenants"] == {"0": 7.0, "1": 3.0}
+        # First snapshot after attach has no delta to rate against.
+        assert t["events_per_sec"] == 0.0
+        assert t["invocations_per_sec"] == 0.0
+
+        engine.events_processed = 360
+        counts[0] = 20
+        hub.flush()
+        t = hub.state()["throughput"]
+        assert t["events_processed"] == 360
+        assert t["invocations"] == 23.0
+        assert t["events_per_sec"] > 0.0
+        assert t["invocations_per_sec"] > 0.0
+
+    def test_reattach_resets_the_rate_baseline(self):
+        hub = TelemetryHub(wall_interval=0.0)
+        engine = FakeEngine()
+        engine.events_processed = 500
+        hub.attach_engine(engine)
+        hub.flush()
+        hub.attach_engine(engine)   # fresh run: no stale delta
+        hub.flush()
+        assert hub.state()["throughput"]["events_per_sec"] == 0.0
+
+    def test_throughput_survives_the_state_file_round_trip(self, tmp_path):
+        path = tmp_path / "state.json"
+        publisher = TelemetryHub(wall_interval=0.0, state_path=path)
+        engine = FakeEngine()
+        engine.events_processed = 42
+        publisher.attach_engine(engine)
+        publisher.attach_tenant_counts({2: 5})
+        publisher.flush()
+
+        consumer = TelemetryHub()
+        watcher = StateFileWatcher(path, consumer, interval=0.01)
+        assert watcher.poll_once()
+        t = consumer.state()["throughput"]
+        assert t["events_processed"] == 42
+        assert t["tenants"] == {"2": 5.0}

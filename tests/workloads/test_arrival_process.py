@@ -1,0 +1,122 @@
+"""ArrivalProcess family: thinning sampler, modulation, RNG compat."""
+
+import random
+
+import pytest
+
+from repro.platform.workload import poisson_arrivals
+from repro.workloads.trace import (
+    ArrivalProcess,
+    Burst,
+    ConstantRate,
+    ModulatedRate,
+    peak_burst_multiplier,
+)
+from repro.workloads.profile import profile_by_name
+
+
+def times(process, seed=7, duration=30.0):
+    return list(process.sample(random.Random(seed), duration))
+
+
+def test_constant_rate_matches_legacy_rng_stream():
+    # The refactored poisson_arrivals must consume the exact expovariate
+    # stream the historic single-rate generator used: one draw per
+    # point, no acceptance draws at the envelope.
+    rng = random.Random(3)
+    legacy = []
+    t = rng.expovariate(4.0)
+    while t < 20.0:
+        legacy.append(t)
+        t += rng.expovariate(4.0)
+    assert times(ConstantRate(4.0), seed=3, duration=20.0) == legacy
+
+
+def test_poisson_arrivals_rides_on_constant_rate():
+    profile = profile_by_name("json")
+    arrivals = poisson_arrivals([(profile, 5.0)], duration=10.0, seed=11)
+    expected = list(ConstantRate(5.0).sample(random.Random(11), 10.0))
+    assert [a.time for a in arrivals] == expected
+    assert all(a.function == profile.name for a in arrivals)
+
+
+def test_sample_is_lazy_and_ascending():
+    gen = ConstantRate(100.0).sample(random.Random(0), 1e9)
+    first = [next(gen) for _ in range(1000)]  # would OOM if materialized
+    assert first == sorted(first)
+    assert len(set(first)) == len(first)
+
+
+def test_sample_is_deterministic():
+    assert times(ModulatedRate(5.0, diurnal_amplitude=0.5,
+                               diurnal_period=10.0)) == \
+        times(ModulatedRate(5.0, diurnal_amplitude=0.5,
+                            diurnal_period=10.0))
+
+
+def test_diurnal_modulation_shifts_density():
+    # Period 20 s: first half-cycle is above base rate, second below.
+    process = ModulatedRate(50.0, diurnal_amplitude=0.8,
+                            diurnal_period=20.0)
+    pts = times(process, seed=5, duration=20.0)
+    crest = sum(1 for t in pts if t < 10.0)
+    trough = len(pts) - crest
+    assert crest > trough * 1.5
+
+
+def test_burst_concentrates_arrivals():
+    process = ModulatedRate(
+        20.0, bursts=(Burst(start=5.0, duration=2.0, multiplier=8.0),))
+    pts = times(process, seed=9, duration=10.0)
+    in_burst = sum(1 for t in pts if 5.0 <= t < 7.0)
+    # 2 s of a 10 s window at 8x the rate holds most of the mass.
+    assert in_burst > len(pts) * 0.5
+    for t in pts:
+        assert 0.0 < t < 10.0
+
+
+def test_rate_never_exceeds_peak():
+    process = ModulatedRate(
+        10.0, diurnal_amplitude=0.6, diurnal_period=7.0,
+        bursts=(Burst(start=1.0, duration=3.0, multiplier=2.0),
+                Burst(start=2.0, duration=4.0, multiplier=3.0)))
+    peak = process.peak_rate
+    for i in range(2000):
+        assert process.rate(i * 0.01) <= peak + 1e-9
+
+
+def test_overlapping_bursts_stack_multiplicatively():
+    bursts = (Burst(start=0.0, duration=4.0, multiplier=2.0),
+              Burst(start=2.0, duration=4.0, multiplier=3.0))
+    assert peak_burst_multiplier(bursts) == pytest.approx(6.0)
+    process = ModulatedRate(1.0, bursts=bursts)
+    assert process.rate(3.0) == pytest.approx(6.0)
+    assert process.rate(1.0) == pytest.approx(2.0)
+    assert process.rate(5.0) == pytest.approx(3.0)
+
+
+def test_thinned_density_tracks_expected_rate():
+    # Integral of the rate over the horizon predicts the sample size.
+    process = ModulatedRate(200.0, diurnal_amplitude=0.4,
+                            diurnal_period=16.0)
+    pts = times(process, seed=1, duration=16.0)
+    # One full period: the sinusoid integrates to zero, so the mean
+    # count is base * duration.
+    assert len(pts) == pytest.approx(200.0 * 16.0, rel=0.08)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ConstantRate(0.0)
+    with pytest.raises(ValueError):
+        ModulatedRate(1.0, diurnal_amplitude=1.0)
+    with pytest.raises(ValueError):
+        Burst(start=-1.0, duration=1.0, multiplier=2.0)
+    with pytest.raises(ValueError):
+        Burst(start=0.0, duration=0.0, multiplier=2.0)
+    with pytest.raises(ValueError):
+        Burst(start=0.0, duration=1.0, multiplier=0.5)
+    with pytest.raises(ValueError):
+        list(ConstantRate(1.0).sample(random.Random(0), 0.0))
+    with pytest.raises(NotImplementedError):
+        ArrivalProcess().rate(0.0)

@@ -1,0 +1,128 @@
+"""Traffic generator: catalog, tenancy, laziness, determinism."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.workloads.traffic import (
+    TrafficSpec,
+    burst_schedule,
+    expected_invocations,
+    iter_invocations,
+    traffic_functions,
+)
+
+
+def small_spec(**overrides):
+    fields = dict(n_functions=500, n_tenants=4, total_rps=200.0,
+                  duration=5.0, diurnal_period=4.0, n_bursts=2,
+                  burst_multiplier=3.0, burst_duration=1.0, seed=3)
+    fields.update(overrides)
+    return TrafficSpec(**fields)
+
+
+def test_catalog_shape():
+    spec = small_spec()
+    catalog = traffic_functions(spec)
+    assert len(catalog) == spec.n_functions
+    assert len({fn.name for fn in catalog}) == spec.n_functions
+    assert {fn.tenant for fn in catalog} == set(range(spec.n_tenants))
+    assert all(fn.shape in spec.shapes for fn in catalog)
+    assert sum(fn.weight for fn in catalog) == pytest.approx(1.0)
+
+
+def test_zipf_head_dominates():
+    catalog = traffic_functions(small_spec())
+    weights = sorted((fn.weight for fn in catalog), reverse=True)
+    assert weights[0] == catalog[0].weight  # rank 0 is the head
+    assert weights[0] > 50 * weights[-1]
+
+
+def test_catalog_is_deterministic_per_seed():
+    assert traffic_functions(small_spec()) == traffic_functions(small_spec())
+    other = traffic_functions(small_spec(seed=4))
+    assert other != traffic_functions(small_spec())
+
+
+def test_spec_round_trips_through_json():
+    spec = small_spec()
+    data = json.loads(json.dumps(spec.canonical()))
+    assert TrafficSpec.from_dict(data) == spec
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        small_spec(n_functions=0)
+    with pytest.raises(ValueError):
+        small_spec(n_tenants=0)
+    with pytest.raises(ValueError):
+        small_spec(total_rps=0.0)
+    with pytest.raises(ValueError):
+        small_spec(zipf_s=-1.0)
+    with pytest.raises(ValueError):
+        small_spec(diurnal_amplitude=1.5)
+    with pytest.raises(ValueError):
+        small_spec(shapes=())
+    with pytest.raises(ValueError):
+        small_spec(shapes=("no-such-shape",))
+
+
+def test_invocations_are_lazy_and_ascending():
+    # A 10-year stream would never fit in memory; islice proves the
+    # iterator is lazy.
+    spec = small_spec(duration=3.2e8, n_bursts=0)
+    head = list(itertools.islice(iter_invocations(spec), 2000))
+    assert len(head) == 2000
+    ts = [inv.time for inv in head]
+    assert ts == sorted(ts)
+
+
+def test_invocations_deterministic_and_restartable():
+    spec = small_spec()
+    a = list(iter_invocations(spec))
+    b = list(iter_invocations(spec))
+    assert a == b
+    assert len(a) == pytest.approx(expected_invocations(spec), rel=0.25)
+
+
+def test_invocation_labels_match_catalog():
+    spec = small_spec()
+    by_name = {fn.name: fn for fn in traffic_functions(spec)}
+    for inv in itertools.islice(iter_invocations(spec), 500):
+        fn = by_name[inv.function]
+        assert inv.tenant == fn.tenant
+        assert inv.shape == fn.shape
+
+
+def test_head_function_gets_head_share():
+    spec = small_spec()
+    head = traffic_functions(spec)[0]
+    invs = list(iter_invocations(spec))
+    share = sum(1 for inv in invs if inv.function == head.name) / len(invs)
+    # Burst skew shifts tenant mixes, but the Zipf head still dominates.
+    assert share > 3 * head.weight / 4
+
+
+def test_burst_schedule_seeded_and_in_window():
+    spec = small_spec()
+    bursts = burst_schedule(spec)
+    assert bursts == burst_schedule(spec)
+    assert len(bursts) == spec.n_bursts
+    for b in bursts:
+        assert 0.0 <= b.start < spec.duration
+        assert b.multiplier == spec.burst_multiplier
+        assert 0 <= b.tenant < spec.n_tenants
+
+
+def test_burst_window_densifies_its_tenant():
+    spec = small_spec(total_rps=400.0, burst_multiplier=6.0,
+                      n_bursts=1, burst_duration=2.0)
+    (burst,) = burst_schedule(spec)
+    invs = list(iter_invocations(spec))
+    window = [inv for inv in invs if burst.active(inv.time)]
+    in_window = sum(1 for inv in window if inv.tenant == burst.tenant)
+    outside = [inv for inv in invs if not burst.active(inv.time)]
+    out_share = (sum(1 for inv in outside if inv.tenant == burst.tenant)
+                 / max(1, len(outside)))
+    assert in_window / len(window) > out_share * 1.5
