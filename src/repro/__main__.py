@@ -29,6 +29,14 @@ Commands:
                                idle-time histograms) with per-tenant
                                SLO tables; --quick shrinks it to CI
                                size
+  storage [FN [APPROACH]]      sweep the snapshot-tiering figure: tier
+                               configurations (flat file, all-local,
+                               base-image-local, capped SSD + HDD
+                               spill, remote-only) x routing policies
+                               through the cluster fleet, reporting
+                               cold-start ratio, p99 E2E, fleet dedup
+                               factor, and bytes per tier; --quick
+                               shrinks it to CI size
   bench [--quick]              run the perf-trajectory harness: pinned
                                figure cells + the eBPF tier
                                microbenchmark, written to BENCH_*.json;
@@ -37,8 +45,8 @@ Commands:
                                a run started elsewhere with
                                --serve-state (HTTP + SSE + /metrics)
 
-``run``, ``fig``, ``chaos``, ``cluster``, ``traffic``, and ``bench``
-share the sweep
+``run``, ``fig``, ``chaos``, ``cluster``, ``traffic``, ``storage``,
+and ``bench`` share the sweep
 flags (one parent parser, resolved into a single
 :class:`~repro.harness.sweep.SweepOptions` value handed to the runners):
 ``--jobs N`` fans independent scenario cells out over N worker
@@ -80,6 +88,8 @@ Examples:
   python -m repro cluster json --fig --jobs 4 --cache-dir .sweep-cache
   python -m repro traffic --quick --jobs 2
   python -m repro traffic json snapbpf --rps 500 --duration 30
+  python -m repro storage --jobs 4 --cache-dir .sweep-cache
+  python -m repro storage json snapbpf --tiers local,remote --quick
   python -m repro bench --quick --compare BENCH_9.json
   python -m repro fig --all --serve --serve-port 8040
   python -m repro fig --all --serve-state /tmp/repro-state.json &
@@ -557,6 +567,76 @@ def cmd_traffic(args) -> int:
     return 0
 
 
+def cmd_storage(args) -> int:
+    """Sweep the snapshot-tiering figure (tier configurations x routing
+    policies through the cluster plane) and print it, followed by a
+    per-cell dedup/tier-bytes summary."""
+    try:
+        profile = profile_by_name(args.function)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    from repro.cluster import ROUTING_POLICIES
+
+    tiers = args.tiers.split(",")
+    for name in tiers:
+        if name not in F.STORAGE_TIERS:
+            print(f"error: unknown tier config {name!r}; choose from "
+                  f"{list(F.STORAGE_TIERS)}", file=sys.stderr)
+            return 2
+    policies = args.policies.split(",")
+    for name in policies:
+        if name not in ROUTING_POLICIES:
+            print(f"error: unknown routing policy {name!r}; choose "
+                  f"from {sorted(ROUTING_POLICIES)}", file=sys.stderr)
+            return 2
+    approaches = ([args.approach] if args.approach
+                  else list(F.FIGURE_MATRIX["storage"][0]))
+    cluster_kwargs = dict(F.storage_cluster_kwargs(quick=args.quick))
+    n_nodes = args.nodes if args.nodes is not None else (
+        2 if args.quick else F.STORAGE_NODE_COUNT)
+
+    opts = SweepOptions.from_args(args)
+    cache = ResultCache(store=opts.make_store())
+    serving = _ServeContext(opts)
+    serving.attach_cache(cache)
+    runner = opts.make_runner(cache, telemetry=serving.hub)
+    try:
+        specs = [F.storage_cell_spec(profile, a, tier, policy,
+                                     n_nodes=n_nodes, **cluster_kwargs)
+                 for a in approaches for tier in tiers
+                 for policy in policies]
+        _sweep(runner, specs, opts)
+        data = F.storage_figure_data(cache, [profile], approaches,
+                                     tiers=tiers, policies=policies,
+                                     n_nodes=n_nodes, **cluster_kwargs)
+        print(render_figure(data))
+        # Per-cell summary straight from the flattened extras.
+        for approach in approaches:
+            for tier in tiers:
+                for policy in policies:
+                    result = cache.get(F.storage_cell_spec(
+                        profile, approach, tier, policy,
+                        n_nodes=n_nodes, **cluster_kwargs))
+                    dedup = result.extra.get("snapstore_dedup_factor")
+                    if dedup is None:
+                        print(f"{profile.name}/{approach} [{tier} "
+                              f"{policy}]: flat files (no snapstore)")
+                        continue
+                    fetched = result.extra.get(
+                        "snapstore_remote_fetch_bytes", 0.0)
+                    print(f"{profile.name}/{approach} [{tier} {policy}]: "
+                          f"dedup {dedup:.2f}x, unique "
+                          f"{result.extra['snapstore_unique_bytes'] / MIB:.0f}"
+                          f" MiB, local "
+                          f"{result.extra['snapstore_local_bytes'] / MIB:.0f}"
+                          f" MiB, remote fetched {fetched / MIB:.0f} MiB")
+    finally:
+        serving.finish()
+    print(runner.last_stats.summary(), file=sys.stderr)
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Run the perf-trajectory harness and optionally gate on the
     committed ``BENCH_*.json`` baseline (CI smoke: ``bench --quick
@@ -843,6 +923,32 @@ def main(argv: list[str] | None = None) -> int:
     traffic_parser.add_argument("--slots", type=int, default=None,
                                 help="override per-node concurrency slots")
 
+    storage_parser = sub.add_parser(
+        "storage", help="sweep the snapshot-tiering figure (tier configs "
+                        "x routing policies) through the cluster fleet",
+        parents=[sweep_flags])
+    storage_parser.add_argument(
+        "function", nargs="?", default="json",
+        help="base function profile the cluster's function mix is "
+             "cloned from (default: json)")
+    storage_parser.add_argument(
+        "approach", nargs="?", default=None,
+        choices=sorted(approach_registry()),
+        help="restore approach (default: all figure columns)")
+    storage_parser.add_argument(
+        "--tiers", default=",".join(F.STORAGE_TIERS),
+        help="comma-separated tier configs to compare (default: all)")
+    storage_parser.add_argument(
+        "--policies", default=",".join(F.STORAGE_POLICIES),
+        help="comma-separated routing policies to compare")
+    storage_parser.add_argument(
+        "--nodes", type=int, default=None,
+        help="fleet size (default: 4, or 2 with --quick)")
+    storage_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized workload (2 nodes, 2 function clones, 3s "
+             "stream) instead of the committed figure scale")
+
     bench_parser = sub.add_parser(
         "bench", help="run the perf-trajectory harness (BENCH_*.json)",
         parents=[sweep_flags])
@@ -893,7 +999,8 @@ def main(argv: list[str] | None = None) -> int:
     handler = {"list": cmd_list, "run": cmd_run, "table1": cmd_table1,
                "fig": cmd_fig, "chaos": cmd_chaos, "trace": cmd_trace,
                "cluster": cmd_cluster, "traffic": cmd_traffic,
-               "bench": cmd_bench, "serve": cmd_serve}[args.command]
+               "storage": cmd_storage, "bench": cmd_bench,
+               "serve": cmd_serve}[args.command]
     try:
         return handler(args)
     except SweepFailure as exc:

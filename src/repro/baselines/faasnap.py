@@ -163,6 +163,8 @@ class FaaSnap(Approach):
                                     ws_offset=ws_off))
             ws_off += length
         self._regions = regions
+        if self.kernel.snapstore is not None:
+            self.kernel.snapstore.record_derived(self._ws_file)
 
         # Zero-page scan: contiguous snapshot-zero ranges become
         # anonymous mappings at restore (allocation filtering).  Zero

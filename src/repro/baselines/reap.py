@@ -87,6 +87,8 @@ class REAP(Approach):
             max(1, len(order)) * PAGE_SIZE)
         for i, token in enumerate(self._ws_contents):
             self._ws_file.set_content(i, token)
+        if self.kernel.snapstore is not None:
+            self.kernel.snapstore.record_derived(self._ws_file)
         self.prepared = True
 
     def _record_handler(self, vm: MicroVM, uffd: Uffd, order: list[int]):

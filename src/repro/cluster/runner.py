@@ -235,6 +235,40 @@ def run_cluster(spec, fault_config=None, fault_seed: int = 0,
         from repro.faults import FaultSchedule
         schedule = FaultSchedule(seed=fault_seed, config=fault_config)
 
+    # Shared snapstore plane: one chunk namespace and one remote object
+    # store for the whole fleet.  Each node overlays a local tier on it;
+    # a locality miss on routing now costs real staged remote fetches.
+    shared_chunks = None
+    shared_remote = None
+    snapstores = []
+    if spec.snapstore is not None:
+        from repro.snapstore import ChunkRegistry
+        from repro.storage.remote import RemoteObjectStore
+        shared_chunks = ChunkRegistry()
+        shared_remote = RemoteObjectStore(
+            env, rtt=spec.snapstore.remote_latency,
+            bandwidth=spec.snapstore.remote_bandwidth)
+
+        if telemetry is not None:
+            def snapstore_occupancy() -> dict:
+                return {
+                    "placement": spec.snapstore.placement,
+                    "chunk_pages": spec.snapstore.chunk_pages,
+                    "dedup_factor": float(shared_chunks.dedup_factor),
+                    "logical_bytes": float(shared_chunks.logical_bytes),
+                    "unique_bytes": float(shared_chunks.unique_bytes),
+                    "remote_bytes": float(shared_chunks.unique_bytes),
+                    "gc_reclaimed_bytes":
+                        float(shared_chunks.gc_reclaimed_bytes),
+                    "local_bytes":
+                        float(sum(s.local_bytes for s in snapstores)),
+                    "hdd_bytes":
+                        float(sum(s.hdd_bytes for s in snapstores)),
+                    "nodes": [s.occupancy() for s in snapstores],
+                }
+
+            telemetry.attach_snapstore_provider(snapstore_occupancy)
+
     def build_node() -> FaaSNode:
         device = (SSDevice(env) if spec.device_kind == "ssd"
                   else HDDevice(env))
@@ -246,6 +280,12 @@ def run_cluster(spec, fault_config=None, fault_seed: int = 0,
             kernel.reclaim.enable_watermarks()
         if schedule is not None:
             schedule.install(kernel)
+        if spec.snapstore is not None:
+            from repro.snapstore import install_snapstore
+            store = install_snapstore(kernel, spec.snapstore,
+                                      chunks=shared_chunks,
+                                      remote=shared_remote)
+            snapstores.append(store)
         kernels.append(kernel)
         return FaaSNode(kernel, spec.approach, profiles,
                         warm_pool_ttl=cspec.warm_pool_ttl,
@@ -330,6 +370,42 @@ def run_cluster(spec, fault_config=None, fault_seed: int = 0,
 
     registry.register_collector(node_rollup)
 
+    if snapstores:
+        # Dedup state is fleet-shared (one chunk namespace); tier
+        # occupancy and fetch counters are per-node and summed.
+        def snapstore_rollup() -> dict[str, float]:
+            out = {
+                "snapstore_dedup_factor":
+                    float(shared_chunks.dedup_factor),
+                "snapstore_logical_bytes":
+                    float(shared_chunks.logical_bytes),
+                "snapstore_unique_bytes":
+                    float(shared_chunks.unique_bytes),
+                "snapstore_remote_bytes":
+                    float(shared_chunks.unique_bytes),
+                "snapstore_gc_reclaimed_bytes_total":
+                    float(shared_chunks.gc_reclaimed_bytes),
+                "snapstore_local_bytes":
+                    float(sum(s.local_bytes for s in snapstores)),
+            }
+            if any(s.hdd is not None for s in snapstores):
+                out["snapstore_hdd_bytes"] = float(
+                    sum(s.hdd_bytes for s in snapstores))
+            for name in ("snapstore_remote_fetches_total",
+                         "snapstore_remote_fetch_bytes_total",
+                         "snapstore_staged_chunks_total",
+                         "snapstore_chunk_hits_local_total",
+                         "snapstore_chunk_hits_hdd_total",
+                         "snapstore_demotions_total",
+                         "snapstore_fetch_retries_total",
+                         "snapstore_degraded_fetches_total"):
+                out[name] = float(sum(
+                    k.metrics.get(name).value for k in kernels
+                    if name in k.metrics))
+            return out
+
+        registry.register_collector(snapstore_rollup)
+
     if telemetry is not None:
         telemetry.publish(sim_time=env.now, force=True,
                           phase=f"cluster:{cspec.policy} done")
@@ -392,6 +468,22 @@ def run_cluster_scenario(spec) -> ScenarioResult:
         "cluster_rebalance_evictions": float(
             report.metrics.get("cluster_rebalance_evictions_total", 0.0)),
     }
+    # Snapstore plane: dedup and per-tier bytes, present only when the
+    # spec enables the store (storeless extras stay byte-identical).
+    for key in ("snapstore_dedup_factor", "snapstore_logical_bytes",
+                "snapstore_unique_bytes", "snapstore_local_bytes",
+                "snapstore_hdd_bytes", "snapstore_remote_bytes"):
+        if key in report.metrics:
+            extra[key] = float(report.metrics[key])
+    for key in ("snapstore_remote_fetches_total",
+                "snapstore_remote_fetch_bytes_total",
+                "snapstore_staged_chunks_total",
+                "snapstore_demotions_total",
+                "snapstore_fetch_retries_total",
+                "snapstore_degraded_fetches_total",
+                "snapstore_gc_reclaimed_bytes_total"):
+        if report.metrics.get(key):
+            extra[key.removesuffix("_total")] = float(report.metrics[key])
     return ScenarioResult(
         function=spec.function_name,
         approach=spec.approach,

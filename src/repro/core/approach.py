@@ -140,6 +140,8 @@ class SnapBPF(Approach):
         self._meta_file = (self.kernel.filestore.create(
             f"{profile.name}.{self.name}.groups", meta_bytes)
             if meta_bytes > 0 else None)
+        if self._meta_file is not None and self.kernel.snapstore is not None:
+            self.kernel.snapstore.record_derived(self._meta_file)
         self.prepared = True
 
     # -- invocation phase ----------------------------------------------------------

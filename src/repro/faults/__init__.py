@@ -19,6 +19,9 @@ that a whole chaos run is reproducible from a single RNG seed:
 * :class:`NodeFaultInjector` — whole-node crashes consumed by the
   cluster plane (:mod:`repro.cluster`), which fails the node's
   in-flight requests and re-routes their retries to survivors;
+* :class:`RemoteFetchInjector` — remote-object-store fetch EIOs and
+  latency stalls consumed by the snapstore (:mod:`repro.snapstore`),
+  which retries with backoff and degrades to a surviving tier;
 * :class:`SweepFaultInjector` — faults for the *harness itself*:
   SIGKILLed sweep workers, cells hanging past their deadline, and torn
   result-store writes, consumed by the supervising executor in
@@ -45,6 +48,8 @@ from repro.faults.injectors import (
     FileStoreFaultInjector,
     MemFaultInjector,
     NodeFaultInjector,
+    RemoteFetchDecision,
+    RemoteFetchInjector,
 )
 from repro.faults.sweep import (
     SweepFaultInjector,
@@ -64,6 +69,8 @@ __all__ = [
     "MemFaultInjector",
     "NodeFaultInjector",
     "PERSISTENT",
+    "RemoteFetchDecision",
+    "RemoteFetchInjector",
     "RetryPolicy",
     "SweepFaultInjector",
     "TRANSIENT",

@@ -197,6 +197,73 @@ class NodeFaultInjector:
         return crash
 
 
+@dataclass(frozen=True)
+class RemoteFetchDecision:
+    """What one remote-object-store fetch should suffer."""
+
+    #: Inject an EIO after the transfer (object-store 5xx); transient,
+    #: so the snapstore's retry ladder re-fetches.
+    error: bool = False
+    #: Seconds the fetch stalls before being served (0 = none).
+    stall_seconds: float = 0.0
+
+
+class RemoteFetchInjector:
+    """Remote-fetch EIOs and latency stalls for the snapstore.
+
+    Like :class:`MemFaultInjector`, the counters live here as plain
+    attributes rather than :class:`FaultStats` fields, so chaos
+    fingerprints of configs without a snapstore (which embed the
+    FaultStats key set) stay byte-identical to earlier releases.
+    """
+
+    def __init__(self, rng: random.Random, config: FaultConfig,
+                 stats: FaultStats):
+        self.rng = rng
+        self.config = config
+        self.stats = stats
+        self._forced_errors = 0
+        self._forced_stalls = 0
+        #: Faults injected so far (surfaced via snapstore counters).
+        self.remote_fetch_errors = 0
+        self.remote_fetch_stalls = 0
+
+    def fail_next(self, n: int = 1) -> None:
+        """Force the next ``n`` fetches to return an EIO (tests)."""
+        self._forced_errors += n
+
+    def stall_next(self, n: int = 1) -> None:
+        """Force the next ``n`` fetches to stall (tests)."""
+        self._forced_stalls += n
+
+    def on_fetch(self) -> RemoteFetchDecision:
+        """Decide one fetch's fate.  One RNG draw per configured rate
+        per fetch, so the stream stays aligned across runs regardless
+        of outcomes."""
+        cfg = self.config
+        error = False
+        if self._forced_errors > 0:
+            self._forced_errors -= 1
+            error = True
+        elif (cfg.remote_fetch_error_rate
+                and self.rng.random() < cfg.remote_fetch_error_rate):
+            error = True
+        stall_seconds = 0.0
+        stall = False
+        if self._forced_stalls > 0:
+            self._forced_stalls -= 1
+            stall = True
+        elif (cfg.remote_fetch_stall_rate
+                and self.rng.random() < cfg.remote_fetch_stall_rate):
+            stall = True
+        if stall:
+            stall_seconds = cfg.remote_fetch_stall_seconds
+            self.remote_fetch_stalls += 1
+        if error:
+            self.remote_fetch_errors += 1
+        return RemoteFetchDecision(error=error, stall_seconds=stall_seconds)
+
+
 class EbpfFaultInjector:
     """BPF runtime failures: attach rejections and map-capacity caps."""
 

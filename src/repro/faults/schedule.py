@@ -50,12 +50,24 @@ class FaultConfig:
     #: single-node runs never draw from the stream, so rate 0 keeps
     #: fingerprints byte-identical to earlier releases).
     node_crash_rate: float = 0.0
+    #: Probability that one remote-object-store fetch returns an EIO
+    #: (object-store 5xx).  Transient: the snapstore's retry/backoff
+    #: ladder re-fetches, then degrades to a surviving tier if one holds
+    #: the chunks.  Draws happen only in runs with a snapstore staging
+    #: from the remote tier, so rate 0 keeps fingerprints byte-identical.
+    remote_fetch_error_rate: float = 0.0
+    #: Probability that one remote fetch stalls before being served
+    #: (congested network path / slow storage frontend).
+    remote_fetch_stall_rate: float = 0.0
+    #: Duration of one injected remote-fetch stall, in seconds.
+    remote_fetch_stall_seconds: float = 2e-3
 
     def __post_init__(self) -> None:
         for name in ("media_error_rate", "persistent_fraction",
                      "latency_spike_rate", "torn_page_rate",
                      "attach_failure_rate", "reclaim_stall_rate",
-                     "node_crash_rate"):
+                     "node_crash_rate", "remote_fetch_error_rate",
+                     "remote_fetch_stall_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
@@ -67,6 +79,8 @@ class FaultConfig:
             raise ValueError("map_capacity_cap must be >= 1")
         if self.reclaim_stall_seconds < 0.0:
             raise ValueError("reclaim_stall_seconds must be >= 0")
+        if self.remote_fetch_stall_seconds < 0.0:
+            raise ValueError("remote_fetch_stall_seconds must be >= 0")
 
 
 @dataclass
@@ -104,6 +118,7 @@ class FaultSchedule:
             FileStoreFaultInjector,
             MemFaultInjector,
             NodeFaultInjector,
+            RemoteFetchInjector,
         )
 
         self.stats = FaultStats()
@@ -117,6 +132,8 @@ class FaultSchedule:
             self._stream("mm"), self.config, self.stats)
         self.node = NodeFaultInjector(
             self._stream("node"), self.config, self.stats)
+        self.remote = RemoteFetchInjector(
+            self._stream("remote"), self.config, self.stats)
 
     def _stream(self, layer: str) -> random.Random:
         """An independent, layer-local RNG derived from the seed."""
@@ -131,6 +148,9 @@ class FaultSchedule:
         reclaim = getattr(kernel, "reclaim", None)
         if reclaim is not None:
             reclaim.fault_injector = self.mm
+        snapstore = getattr(kernel, "snapstore", None)
+        if snapstore is not None:
+            snapstore.fault_injector = self.remote
         # Publish the injection counters through the machine's registry
         # (``fault_*`` keys) so one snapshot covers the whole stack.  The
         # injectors keep owning the plain attributes; a collector is the

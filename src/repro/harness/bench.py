@@ -52,7 +52,7 @@ from repro.units import GIB
 BENCH_SCHEMA = 1
 
 #: The issue number this trajectory file belongs to (file name suffix).
-BENCH_ISSUE = 9
+BENCH_ISSUE = 10
 
 #: Default trajectory file at the repo root.
 DEFAULT_BENCH_PATH = f"BENCH_{BENCH_ISSUE}.json"
@@ -87,12 +87,19 @@ class BenchCell:
     #: quick traffic-figure cell) and runs through the cluster runner,
     #: so the trajectory tracks the traffic plane's events/sec too.
     traffic: bool = False
+    #: Snapstore placement for a tiered-restore cell (e.g. "remote"):
+    #: every cold start stages chunks through the content-addressed
+    #: store, so the trajectory tracks the staging path's events/sec.
+    #: None = flat snapshot files.
+    snapstore: str | None = None
 
     @property
     def key(self) -> str:
         if self.traffic:
             return f"traffic/{self.approach}+histogram"
         suffix = f"+ram{self.ram_gib:g}" if self.ram_gib else ""
+        if self.snapstore:
+            suffix += f"+snap-{self.snapstore}"
         return f"{self.function}/{self.approach}x{self.n_instances}{suffix}"
 
     def spec(self) -> ScenarioSpec:
@@ -102,14 +109,20 @@ class BenchCell:
             return traffic_cell_spec(profile_by_name(self.function),
                                      self.approach, "histogram",
                                      quick=True)
+        snapstore = None
+        if self.snapstore:
+            from repro.snapstore import SnapStoreSpec
+            snapstore = SnapStoreSpec(placement=self.snapstore)
         return ScenarioSpec(
             function=self.function, approach=self.approach,
             n_instances=self.n_instances,
-            ram_bytes=(int(self.ram_gib * GIB) if self.ram_gib else None))
+            ram_bytes=(int(self.ram_gib * GIB) if self.ram_gib else None),
+            snapstore=snapstore)
 
 
 #: The pinned subset: two eBPF-heavy snapbpf cells (one pressured, one
-#: large), one uffd baseline cell, and one cheap smoke pair for CI.
+#: large), one uffd baseline cell, a cheap smoke pair for CI, and a
+#: remote-placement snapstore cell tracking the tiered-restore path.
 BENCH_CELLS: tuple[BenchCell, ...] = (
     BenchCell("json", "snapbpf", 4, ebpf_heavy=True, quick=True,
               pre_pr_seconds=1.940),
@@ -119,6 +132,8 @@ BENCH_CELLS: tuple[BenchCell, ...] = (
     BenchCell("bert", "snapbpf", 10, ebpf_heavy=True,
               pre_pr_seconds=34.200),
     BenchCell("json", "snapbpf", 1, quick=True, traffic=True),
+    BenchCell("json", "snapbpf", 4, ebpf_heavy=True, quick=True,
+              snapstore="remote"),
 )
 
 

@@ -85,7 +85,8 @@ def run_scenario(spec: ScenarioSpec, *,
                          spec.vary_inputs, spec.device_kind,
                          spec.costs, kernel,
                          ram_bytes=spec.ram_bytes,
-                         evict_policy=spec.evict_policy)
+                         evict_policy=spec.evict_policy,
+                         snapstore_spec=spec.snapstore)
 
 
 def _run_scenario(profile: FunctionProfile,
@@ -97,7 +98,8 @@ def _run_scenario(profile: FunctionProfile,
                   costs: CostModel | None,
                   kernel: Kernel | None,
                   ram_bytes: int | None = None,
-                  evict_policy: str | None = None) -> ScenarioResult:
+                  evict_policy: str | None = None,
+                  snapstore_spec=None) -> ScenarioResult:
     if isinstance(approach_factory, str):
         approach_factory = approach_registry()[approach_factory]
     if kernel is None:
@@ -108,6 +110,9 @@ def _run_scenario(profile: FunctionProfile,
             # A sized pool is a memory-pressure scenario: watermarks on,
             # kswapd running.  The default pool keeps seed semantics.
             kernel.reclaim.enable_watermarks()
+    if snapstore_spec is not None and kernel.snapstore is None:
+        from repro.snapstore import install_snapstore
+        install_snapstore(kernel, snapstore_spec)
     env = kernel.env
     approach = approach_factory(kernel)
     trace = generate_trace(profile, input_seed)
@@ -119,6 +124,11 @@ def _run_scenario(profile: FunctionProfile,
     prepare_seconds = env.now - prep_start
 
     # -- cold-start reset ------------------------------------------------------------
+    if kernel.snapstore is not None:
+        # Place recorded chunks per the spec before measurement: 'local'
+        # pins everything warm (the identity configuration), 'remote'
+        # leaves every first access to stage over the network.
+        kernel.snapstore.apply_placement()
     kernel.drop_caches()
     kernel.device.reset_stats()
     kernel.frames.reset_peak()
@@ -182,6 +192,8 @@ def _run_scenario(profile: FunctionProfile,
         device_p99_latency=kernel.device.stats.p99_latency,
     )
     _collect_extras(approach, result)
+    if kernel.snapstore is not None:
+        result.extra.update(kernel.snapstore.result_extras())
     # Reclaim activity, surfaced only when the run actually evicted, so
     # unpressured runs keep their exact extras (identity contract).  The
     # digest fingerprints the full eviction *sequence*: two runs evicting

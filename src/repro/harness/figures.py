@@ -14,9 +14,10 @@ from dataclasses import dataclass, field
 from repro.baselines.base import approach_registry
 from repro.cluster.spec import ClusterSpec
 from repro.harness.experiment import ResultCache
+from repro.snapstore.spec import SnapStoreSpec
 from repro.workloads.traffic import TrafficSpec
 from repro.harness.spec import ScenarioSpec
-from repro.units import GIB, PAGE_SIZE
+from repro.units import GIB, MIB, PAGE_SIZE
 from repro.workloads.profile import FUNCTIONS, FunctionProfile, profile_by_name
 
 # Ensure all approaches (incl. repro.core's) are registered on import.
@@ -41,6 +42,7 @@ FIGURE_MATRIX: dict[str, tuple[tuple[str, ...], int]] = {
     "mem": (("linux-ra", "reap", "snapbpf"), CONCURRENT_INSTANCES),
     "cluster": (("linux-ra", "reap", "faasnap", "snapbpf"), 1),
     "traffic": (("linux-ra", "reap", "faasnap", "snapbpf"), 1),
+    "storage": (("linux-ra", "reap", "snapbpf"), 1),
 }
 
 FIGURES: tuple[str, ...] = tuple(FIGURE_MATRIX)
@@ -109,6 +111,57 @@ def traffic_cell_spec(profile: FunctionProfile, approach: str,
             keepalive=keepalive,
             traffic=traffic or default_traffic_spec(quick), **kwargs))
 
+#: The storage figure's tier axis: snapstore configurations swept
+#: against the flat-file baseline.  ``local`` is the identity
+#: configuration (results byte-identical to ``flat``); ``tiered`` caps
+#: the local tier so demotion to the HDD tier actually happens.
+STORAGE_TIERS: dict[str, SnapStoreSpec | None] = {
+    "flat": None,
+    "local": SnapStoreSpec(),
+    "base-local": SnapStoreSpec(placement="base-local"),
+    "tiered": SnapStoreSpec(placement="base-local", hdd_tier=True,
+                            local_capacity_bytes=256 * MIB),
+    "remote": SnapStoreSpec(placement="remote"),
+}
+
+#: The storage figure's routing axis: the locality-vs-random margin is
+#: the point (a locality miss now costs real staged remote fetches).
+STORAGE_POLICIES = ("random", "snapshot-locality")
+
+STORAGE_NODE_COUNT = 4
+
+#: Metrics reported per (tier, policy) row of the storage figure:
+#: ScenarioResult.extra key, display label, and scale factor.
+STORAGE_METRICS = (
+    ("cluster_cold_ratio", "cold-ratio", 1.0),
+    ("cluster_p99_latency", "p99-e2e", 1.0),
+    ("snapstore_dedup_factor", "dedup", 1.0),
+    ("snapstore_local_bytes", "local-GiB", 1.0 / GIB),
+    ("snapstore_hdd_bytes", "hdd-GiB", 1.0 / GIB),
+    ("snapstore_remote_bytes", "remote-GiB", 1.0 / GIB),
+)
+
+
+def storage_cluster_kwargs(quick: bool = False) -> dict:
+    """Cluster workload shared by the storage figure and the CLI's
+    ``storage`` command; ``quick`` shrinks it to CI smoke size."""
+    if quick:
+        return dict(n_functions=2, duration=3.0)
+    return {}
+
+
+def storage_cell_spec(profile: FunctionProfile, approach: str,
+                      tier: str, policy: str,
+                      n_nodes: int = STORAGE_NODE_COUNT,
+                      **cluster_kwargs) -> ScenarioSpec:
+    """The canonical spec for one storage-figure cell."""
+    return ScenarioSpec(
+        function=profile, approach=approach,
+        snapstore=STORAGE_TIERS[tier],
+        cluster=ClusterSpec(n_nodes=n_nodes, policy=policy,
+                            **cluster_kwargs))
+
+
 #: Approaches whose restore installs private anonymous frames via
 #: userfaultfd (per-VM, unreclaimable) rather than shared page-cache
 #: pages.  Used to compose the memory-pressure figure and to size pools.
@@ -162,6 +215,10 @@ def figure_specs(figure: str, functions=None) -> list[ScenarioSpec]:
         return [traffic_cell_spec(p, a, keepalive)
                 for p in _cluster_profiles(functions) for a in approaches
                 for keepalive in TRAFFIC_KEEPALIVES]
+    if figure == "storage":
+        return [storage_cell_spec(p, a, tier, policy)
+                for p in _cluster_profiles(functions) for a in approaches
+                for tier in STORAGE_TIERS for policy in STORAGE_POLICIES]
     if figure == "mem":
         return [
             ScenarioSpec(
@@ -425,6 +482,47 @@ def figure_traffic(cache: ResultCache | None = None,
                                approaches)
 
 
+def storage_figure_data(cache: ResultCache, profiles, approaches,
+                        tiers=None, policies=STORAGE_POLICIES,
+                        n_nodes: int = STORAGE_NODE_COUNT,
+                        **cluster_kwargs) -> FigureData:
+    """Tier config x routing policy x metric rows, approach columns —
+    shared by :func:`figure_storage` and the CLI's ``storage`` command
+    (which can narrow the axes or shrink the workload)."""
+    tier_names = list(tiers if tiers is not None else STORAGE_TIERS)
+    rows = [(p, tier, policy, key, label, scale)
+            for p in profiles for tier in tier_names
+            for policy in policies
+            for key, label, scale in STORAGE_METRICS]
+    data = FigureData(
+        figure="storage",
+        ylabel="cold-ratio / p99 E2E (s) / dedup / tier bytes (GiB)",
+        functions=[f"{p.name} {tier} {policy} {label}"
+                   for p, tier, policy, _, label, _ in rows],
+        notes="local = identity config (byte-identical to flat); "
+              "colder placements stage chunks through the shared remote "
+              "object store, so a locality miss costs real fetches")
+    for approach in approaches:
+        data.series[approach] = [
+            cache.get(storage_cell_spec(p, approach, tier, policy,
+                                        n_nodes=n_nodes, **cluster_kwargs))
+            .extra.get(key, 0.0) * scale
+            for p, tier, policy, key, _, scale in rows]
+    return data
+
+
+def figure_storage(cache: ResultCache | None = None,
+                   functions=None) -> FigureData:
+    """Storage figure: snapshot-tiering sweep through the cluster plane —
+    tier configurations x routing policies, reporting cold-start ratio,
+    p99 E2E, fleet dedup factor, and bytes per tier, with the flat-file
+    baseline alongside."""
+    cache = cache or ResultCache()
+    approaches, _ = FIGURE_MATRIX["storage"]
+    return storage_figure_data(cache, _cluster_profiles(functions),
+                               approaches)
+
+
 def figure_cluster(cache: ResultCache | None = None,
                    functions=None) -> FigureData:
     """Cluster figure: routing policy x fleet size sweep showing
@@ -446,6 +544,7 @@ FIGURE_BUILDERS = {
     "mem": figure_mem,
     "cluster": figure_cluster,
     "traffic": figure_traffic,
+    "storage": figure_storage,
 }
 
 

@@ -24,6 +24,7 @@ from dataclasses import asdict, dataclass
 
 from repro.cluster.spec import ClusterSpec
 from repro.mm.costs import CostModel
+from repro.snapstore.spec import SnapStoreSpec
 from repro.workloads.profile import FunctionProfile, profile_by_name
 
 #: Version tag baked into every spec hash and on-disk store entry.  Bump
@@ -34,7 +35,8 @@ from repro.workloads.profile import FunctionProfile, profile_by_name
 #: v3: cluster plane (nested ClusterSpec field).
 #: v4: traffic plane (ClusterSpec keep-alive policy fields and nested
 #: TrafficSpec workload).
-SCHEMA_VERSION = 4
+#: v5: snapstore plane (nested SnapStoreSpec field; snapshot tiering).
+SCHEMA_VERSION = 5
 
 _DEVICE_KINDS = ("ssd", "hdd")
 
@@ -70,6 +72,12 @@ class ScenarioSpec:
     #: is cloned from, and per-node knobs (device_kind, costs, ram_bytes,
     #: evict_policy) apply to every node.
     cluster: ClusterSpec | None = None
+    #: Tiered snapshot store (repro.snapstore): when set, snapshots are
+    #: recorded as content-addressed chunks and restores resolve through
+    #: the manifest, staging cold chunks from the configured tiers.
+    #: ``None`` keeps the flat-file baseline.  In cluster scenarios every
+    #: node gets a local store sharing one remote tier.
+    snapstore: SnapStoreSpec | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.function, str):
@@ -109,6 +117,13 @@ class ScenarioSpec:
                 raise ValueError(
                     "cluster scenarios drive concurrency through the "
                     "arrival stream; n_instances must stay 1")
+        if isinstance(self.snapstore, dict):
+            object.__setattr__(self, "snapstore",
+                               SnapStoreSpec.from_dict(self.snapstore))
+        if self.snapstore is not None and not isinstance(
+                self.snapstore, SnapStoreSpec):
+            raise TypeError(f"snapstore must be a SnapStoreSpec or None, "
+                            f"got {type(self.snapstore).__name__}")
 
     # -- identity ------------------------------------------------------------
     @property
@@ -129,6 +144,8 @@ class ScenarioSpec:
             "evict_policy": self.evict_policy,
             "cluster": (self.cluster.canonical()
                         if self.cluster is not None else None),
+            "snapstore": (self.snapstore.canonical()
+                          if self.snapstore is not None else None),
         }
 
     def stable_hash(self) -> str:
@@ -155,6 +172,8 @@ class ScenarioSpec:
             evict_policy=data.get("evict_policy"),
             cluster=(ClusterSpec.from_dict(data["cluster"])
                      if data.get("cluster") is not None else None),
+            snapstore=(SnapStoreSpec.from_dict(data["snapstore"])
+                       if data.get("snapstore") is not None else None),
         )
 
     def __str__(self) -> str:  # pragma: no cover - display helper
@@ -170,6 +189,8 @@ class ScenarioSpec:
         if self.cluster is not None:
             extras.append(f"cluster={self.cluster.policy}"
                           f"x{self.cluster.n_nodes}")
+        if self.snapstore is not None:
+            extras.append(f"snapstore={self.snapstore.placement}")
         suffix = f" ({', '.join(extras)})" if extras else ""
         return (f"{self.function_name}/{self.approach} "
                 f"x{self.n_instances} [{self.device_kind}]{suffix}")

@@ -73,6 +73,8 @@ class Kernel:
         register_evict_hint(self)
         #: The installed FaultSchedule, if any (see FaultSchedule.install).
         self.faults = None
+        #: The installed SnapStore, if any (see install_snapstore).
+        self.snapstore = None
         # Ring-buffer drop accounting for the span tracer, published
         # only once a span has actually been dropped so fault-free
         # snapshots keep their exact historical keys (identity contract).

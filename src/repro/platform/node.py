@@ -168,6 +168,11 @@ class FaaSNode:
         for name, approach in self.approaches.items():
             profile = self.profiles[name]
             yield from approach.prepare(profile, generate_trace(profile, 0))
+        if self.kernel.snapstore is not None:
+            # Node-boot pre-placement: apply the spec's tier placement
+            # (e.g. base-local keeps only the deduplicated base-image
+            # chunks warm; everything else stages on first restore).
+            self.kernel.snapstore.apply_placement()
         self.kernel.drop_caches()
         self.kernel.device.reset_stats()
         self.kernel.frames.reset_peak()
@@ -389,6 +394,13 @@ class FaaSNode:
                 vm._parked = False
                 vm.teardown()
             pool.clear()
+        if self.kernel.snapstore is not None:
+            # Decommission the local tier and release this node's
+            # snapshot references; chunks still referenced by other
+            # nodes' manifests survive in the shared tiers (refcounted
+            # GC reclaims only the last owner's bytes).
+            self.kernel.snapstore.drop_local()
+            self.kernel.snapstore.release_all()
         return self.kernel.drop_caches()
 
     # -- introspection ---------------------------------------------------------------------

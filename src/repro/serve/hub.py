@@ -80,6 +80,7 @@ class TelemetryHub:
         self._registry = registry
         self._tracer = tracer
         self._fleet_provider: Callable[[], dict] | None = None
+        self._snapstore_provider: Callable[[], dict] | None = None
         self._engine = None
         self._tenant_counts: dict[int, int] | None = None
         #: (wall monotonic, events_processed, invocations) at the last
@@ -111,6 +112,14 @@ class TelemetryHub:
         publisher's thread; it must return a fresh dict each call."""
         with self._lock:
             self._fleet_provider = provider
+
+    def attach_snapstore_provider(self, provider: Callable[[], dict]) -> None:
+        """``provider()`` is called at snapshot-build time on the
+        publisher's thread; it returns the snapshot store's tier
+        occupancy (dedup factor, per-tier bytes, per-node stores) for
+        the dashboard's tiering tiles."""
+        with self._lock:
+            self._snapstore_provider = provider
 
     def attach_engine(self, engine) -> None:
         """Expose a DES :class:`~repro.sim.Environment`'s progress: its
@@ -196,6 +205,7 @@ class TelemetryHub:
             "histograms": {},
             "sweep": dict(self._sweep),
             "fleet": {},
+            "snapstore": {},
             "throughput": {},
             "spans": [],
             "spans_dropped": 0,
@@ -244,6 +254,9 @@ class TelemetryHub:
         provider = self._fleet_provider
         if provider is not None:
             state["fleet"] = provider()
+        provider = self._snapstore_provider
+        if provider is not None:
+            state["snapstore"] = provider()
         tracer = self._tracer
         if tracer is not None:
             state["spans"] = [span_to_dict(s)
@@ -282,7 +295,7 @@ class TelemetryHub:
                 return {"schema": SERVE_SCHEMA, "version": 0,
                         "phase": self._phase, "metrics": {},
                         "histograms": {}, "sweep": {}, "fleet": {},
-                        "throughput": {}, "spans": [],
+                        "snapstore": {}, "throughput": {}, "spans": [],
                         "spans_dropped": 0,
                         "sim_time": 0.0, "wall_time": time.time()}
             return self._state

@@ -141,6 +141,53 @@ function renderFleet(fleet) {
   }
 }
 
+function gib(bytes) {
+  return (bytes / (1024 * 1024 * 1024)).toFixed(2) + " GiB";
+}
+
+function renderSnapstore(store) {
+  const row = $("snapstore-tiles");
+  const grid = $("snapstore-nodes");
+  row.replaceChildren();
+  grid.replaceChildren();
+  if (!store || !("dedup_factor" in store)) {
+    const p = document.createElement("p");
+    p.className = "empty";
+    p.textContent = "no snapshot store attached (flat-file run)";
+    row.append(p);
+    return;
+  }
+  row.append(tile("placement", store.placement || "local",
+                  `${fmt(store.chunk_pages)} pages/chunk`));
+  row.append(tile("dedup", `${fmt(store.dedup_factor, 2)}×`,
+                  `${gib(store.logical_bytes || 0)} logical`));
+  row.append(tile("local tier", gib(store.local_bytes || 0), "SSD-resident"));
+  if (store.hdd_bytes) {
+    row.append(tile("hdd tier", gib(store.hdd_bytes), "demoted"));
+  }
+  row.append(tile("remote tier", gib(store.remote_bytes || 0),
+                  "unique chunks (durable)"));
+  if (store.gc_reclaimed_bytes) {
+    row.append(tile("gc reclaimed", gib(store.gc_reclaimed_bytes),
+                    "freed by refcounted GC"));
+  }
+  for (const [i, node] of (store.nodes || []).entries()) {
+    const card = document.createElement("div");
+    card.className = "node-card";
+    card.dataset.state = "up";
+    const name = document.createElement("div");
+    name.className = "name";
+    name.textContent = `store ${i}`;
+    const load = document.createElement("div");
+    load.className = "load";
+    load.textContent = `local ${gib(node.local_bytes || 0)} · ` +
+      `${fmt(node.local_chunks)} chunks · ` +
+      `${fmt(node.manifests)} manifests`;
+    card.append(name, load);
+    grid.append(card);
+  }
+}
+
 function renderSpans(spans, dropped) {
   const body = $("spans").querySelector("tbody");
   body.replaceChildren();
@@ -191,6 +238,7 @@ function render(state) {
   renderThroughput(state.throughput || {});
   renderLatency(state.histograms || {});
   renderFleet(state.fleet || {});
+  renderSnapstore(state.snapstore || {});
   renderSpans(state.spans || [], state.spans_dropped || 0);
   renderMetrics(state.metrics || {});
 }

@@ -1,0 +1,36 @@
+"""Tiered, content-addressed snapshot storage (`repro.snapstore`).
+
+Snapshots stop being flat per-function files and become chunked,
+content-addressed objects: a per-snapshot :class:`Manifest` maps chunk
+index -> SHA-256 chunk id, a refcounted :class:`ChunkRegistry`
+deduplicates identical chunks across snapshots of the same runtime, and
+a per-host :class:`SnapStore` tracks chunk residency across a tier
+hierarchy (local SSD cache, optional local HDD, shared remote object
+store) with LRU demotion, remote staging charged against the DES device
+models, and refcounted GC on snapshot deletion.
+
+The restore path is tier-aware but identity-preserving: with the default
+:class:`SnapStoreSpec` (everything local, unbounded) a read takes the
+exact flat-file code path and byte-identical timings; only colder
+placements or capacity bounds introduce staging traffic.
+"""
+
+from repro.snapstore.chunks import (ChunkInfo, ChunkRegistry, Manifest,
+                                    build_derived_manifest, build_manifest,
+                                    private_extent, runtime_id)
+from repro.snapstore.spec import PLACEMENTS, SnapStoreSpec
+from repro.snapstore.store import SnapStore, install_snapstore
+
+__all__ = [
+    "ChunkInfo",
+    "ChunkRegistry",
+    "Manifest",
+    "PLACEMENTS",
+    "SnapStore",
+    "SnapStoreSpec",
+    "build_derived_manifest",
+    "build_manifest",
+    "install_snapstore",
+    "private_extent",
+    "runtime_id",
+]

@@ -1,0 +1,279 @@
+"""Content-addressed chunking: manifests, chunk ids, refcounted registry.
+
+A snapshot's guest memory is cut into fixed-size chunks; each chunk is
+named by a SHA-256 over the *logical content identities* of its pages,
+and a per-snapshot :class:`Manifest` maps chunk index -> chunk id.  Two
+snapshots that contain identical chunks share them — the registry keeps
+one copy and a refcount.
+
+Content model
+-------------
+Real snapshots of functions cloned from the same base runtime image are
+mostly identical: the interpreter, libraries, and warmed heap layout are
+the *runtime's*, and only the instance's private state (its working set)
+differs.  The model mirrors that without materializing page bytes:
+
+* **base pages** carry a token derived from :func:`runtime_id` — a hash
+  of the profile's *shape* fields excluding its name and seed, so the
+  cluster plane's clones (``json-0`` .. ``json-3``) share every base
+  page identity;
+* **private pages** — one contiguous extent of ``ws_pages`` pages at a
+  per-snapshot deterministic position (instance heaps are contiguous) —
+  carry a per-name token, so each clone taints the chunks its extent
+  covers and only those;
+* **guest-zeroed free pages** (FaaSnap's patched kernel) carry the zero
+  token, deduplicating maximally across everything.
+
+Chunk ids are therefore a pure function of ``(profile shape, name,
+guest_zeroed, chunk size)``: re-recording an identical snapshot
+reproduces the exact same manifest and allocates zero new chunks.
+"""
+
+from __future__ import annotations
+
+import bisect
+import functools
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.units import PAGE_SIZE
+from repro.workloads.profile import FunctionProfile
+
+#: Profile fields that define the shared runtime image.  ``name`` and
+#: ``seed`` are deliberately excluded: clones differing only in those
+#: share a runtime (and hence base-page identities).
+_RUNTIME_FIELDS = ("mem_bytes", "ws_bytes", "alloc_bytes",
+                   "compute_seconds", "write_frac", "run_len_mean",
+                   "run_len_sigma", "compute_overlap_frac",
+                   "free_span_pages", "input_ws_frac")
+
+
+def runtime_id(profile: FunctionProfile) -> str:
+    """Identity of the base runtime image a profile was cloned from."""
+    material = ",".join(f"{name}={getattr(profile, name)!r}"
+                        for name in _RUNTIME_FIELDS)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+def private_extent(profile: FunctionProfile) -> tuple[int, int]:
+    """[start, end) of the snapshot's instance-private pages.
+
+    One contiguous ``ws_pages``-long extent at a deterministic,
+    per-snapshot position inside guest memory — the instance's heap.
+    """
+    span = min(profile.ws_pages, profile.mem_pages)
+    rng = random.Random(f"snapstore:{profile.name}:{profile.seed}")
+    start = rng.randrange(max(1, profile.mem_pages - span + 1))
+    return start, start + span
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """One snapshot as a sequence of content-addressed chunks."""
+
+    ino: int
+    name: str
+    chunk_pages: int
+    size_bytes: int
+    cids: tuple[str, ...]
+
+    @property
+    def size_pages(self) -> int:
+        return -(-self.size_bytes // PAGE_SIZE)
+
+    @property
+    def logical_bytes(self) -> int:
+        return self.size_pages * PAGE_SIZE
+
+    def chunk_nbytes(self, index: int) -> int:
+        """Byte size of one chunk (the last chunk may be partial)."""
+        if not 0 <= index < len(self.cids):
+            raise IndexError(f"chunk {index} out of range for {self.name!r}")
+        full = self.chunk_pages * PAGE_SIZE
+        if index < len(self.cids) - 1:
+            return full
+        return self.logical_bytes - index * full
+
+    def covering_chunks(self, start_page: int, npages: int) -> range:
+        """Chunk indices covering the page range [start, start+npages)."""
+        if npages <= 0:
+            raise ValueError("page count must be positive")
+        if start_page < 0 or start_page + npages > self.size_pages:
+            raise IndexError(
+                f"pages [{start_page}, {start_page + npages}) out of range "
+                f"for {self.name!r} ({self.size_pages} pages)")
+        return range(start_page // self.chunk_pages,
+                     (start_page + npages - 1) // self.chunk_pages + 1)
+
+
+def build_manifest(ino: int, name: str, profile: FunctionProfile,
+                   chunk_pages: int, guest_zeroed: bool = False) -> Manifest:
+    """Chunk one snapshot's logical content and hash the chunk ids.
+
+    The chunk ids are a pure function of ``(profile, chunk size,
+    guest_zeroed)`` — not of the inode — so re-recording the same
+    snapshot (on this node or another) reproduces them exactly.
+    """
+    cids = _chunk_ids(profile, chunk_pages, guest_zeroed)
+    return Manifest(ino=ino, name=name, chunk_pages=chunk_pages,
+                    size_bytes=profile.mem_bytes, cids=cids)
+
+
+@functools.lru_cache(maxsize=256)
+def _chunk_ids(profile: FunctionProfile, chunk_pages: int,
+               guest_zeroed: bool) -> tuple[str, ...]:
+    name = profile.name
+    rt = runtime_id(profile)
+    priv_start, priv_end = private_extent(profile)
+    free_starts: list[int] = []
+    free_ends: list[int] = []
+    if guest_zeroed:
+        for start, length in profile.free_spans:
+            free_starts.append(start)
+            free_ends.append(start + length)
+    mem_pages = profile.mem_pages
+
+    def token(page: int) -> str:
+        if free_starts:
+            i = bisect.bisect_right(free_starts, page) - 1
+            if i >= 0 and page < free_ends[i]:
+                return "z"
+        if priv_start <= page < priv_end:
+            return f"w:{name}:{page}"
+        return f"r:{rt}:{page}"
+
+    cids: list[str] = []
+    for chunk_start in range(0, mem_pages, chunk_pages):
+        chunk_end = min(chunk_start + chunk_pages, mem_pages)
+        digest = hashlib.sha256()
+        digest.update(f"{chunk_pages}|".encode("ascii"))
+        for page in range(chunk_start, chunk_end):
+            digest.update(token(page).encode("utf-8"))
+            digest.update(b"|")
+        cids.append(digest.hexdigest())
+    return tuple(cids)
+
+
+def build_derived_manifest(ino: int, name: str, size_bytes: int,
+                           chunk_pages: int) -> Manifest:
+    """Manifest for a derived restore artifact (serialized working-set
+    file, prefetch-group metadata).
+
+    Such files are instance-specific serializations — there is nothing
+    to deduplicate across snapshots — but they still live in the tiered
+    store: a restore from a cold tier pays to fetch them like any other
+    chunk.  Tokens are per-(file name, page), so re-recording the same
+    artifact reproduces its chunk ids exactly.
+    """
+    size_pages = -(-size_bytes // PAGE_SIZE)
+    cids = _derived_chunk_ids(name, size_pages, chunk_pages)
+    return Manifest(ino=ino, name=name, chunk_pages=chunk_pages,
+                    size_bytes=size_bytes, cids=cids)
+
+
+@functools.lru_cache(maxsize=1024)
+def _derived_chunk_ids(name: str, size_pages: int,
+                       chunk_pages: int) -> tuple[str, ...]:
+    cids: list[str] = []
+    for chunk_start in range(0, size_pages, chunk_pages):
+        chunk_end = min(chunk_start + chunk_pages, size_pages)
+        digest = hashlib.sha256()
+        digest.update(f"{chunk_pages}|".encode("ascii"))
+        for page in range(chunk_start, chunk_end):
+            digest.update(f"d:{name}:{page}|".encode("utf-8"))
+        cids.append(digest.hexdigest())
+    return tuple(cids)
+
+
+@dataclass
+class ChunkInfo:
+    """Registry entry for one unique chunk."""
+
+    nbytes: int
+    #: Byte offset of the chunk in the remote object store's flat
+    #: address space (assigned once, at first reference).
+    remote_offset: int
+    #: Per-snapshot-name refcounts; total refs = sum of the values.
+    owners: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def refs(self) -> int:
+        return sum(self.owners.values())
+
+    @property
+    def shared(self) -> bool:
+        """Referenced by two or more distinct snapshots — a base-image
+        chunk (what ``base-local`` placement pre-places on boot)."""
+        return len(self.owners) >= 2
+
+
+class ChunkRegistry:
+    """Cluster-wide chunk namespace: refcounts, dedup accounting, GC.
+
+    One registry can back many per-node :class:`~repro.snapstore.store.
+    SnapStore` instances (they share the remote tier); all bookkeeping
+    is insertion-ordered and RNG-free, so runs are byte-deterministic
+    under any job count.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: dict[str, ChunkInfo] = {}
+        self._cursor = 0
+        #: Live bytes as the manifests see them (with duplication).
+        self.logical_bytes = 0
+        #: Live bytes actually stored (each unique chunk once).
+        self.unique_bytes = 0
+        #: Bytes of chunks whose last reference was released.
+        self.gc_reclaimed_bytes = 0
+        #: References that found their chunk already present.
+        self.dedup_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def __contains__(self, cid: str) -> bool:
+        return cid in self._chunks
+
+    def get(self, cid: str) -> ChunkInfo:
+        return self._chunks[cid]
+
+    @property
+    def dedup_factor(self) -> float:
+        """Manifest bytes per stored byte (1.0 = no dedup)."""
+        if not self.unique_bytes:
+            return 1.0
+        return self.logical_bytes / self.unique_bytes
+
+    def add_ref(self, cid: str, nbytes: int, owner: str) -> ChunkInfo:
+        """Reference ``cid`` from snapshot ``owner``; allocate if new."""
+        self.logical_bytes += nbytes
+        info = self._chunks.get(cid)
+        if info is None:
+            aligned = -(-nbytes // PAGE_SIZE) * PAGE_SIZE
+            info = ChunkInfo(nbytes=nbytes, remote_offset=self._cursor)
+            self._cursor += aligned
+            self._chunks[cid] = info
+            self.unique_bytes += nbytes
+        else:
+            self.dedup_hits += 1
+        info.owners[owner] = info.owners.get(owner, 0) + 1
+        return info
+
+    def release(self, cid: str, owner: str) -> bool:
+        """Drop one reference; returns True if the chunk was freed."""
+        info = self._chunks[cid]
+        count = info.owners.get(owner, 0)
+        if count <= 0:
+            raise KeyError(f"{owner!r} holds no reference to {cid[:12]}")
+        if count == 1:
+            del info.owners[owner]
+        else:
+            info.owners[owner] = count - 1
+        self.logical_bytes -= info.nbytes
+        if not info.owners:
+            del self._chunks[cid]
+            self.unique_bytes -= info.nbytes
+            self.gc_reclaimed_bytes += info.nbytes
+            return True
+        return False

@@ -1,0 +1,81 @@
+"""`SnapStoreSpec` — the hashable configuration of the snapshot store.
+
+Nested inside :class:`~repro.harness.spec.ScenarioSpec` exactly like the
+cluster spec: a frozen dataclass whose ``canonical()`` dict participates
+in the spec hash, so two runs with different tier configurations can
+never collide in the result store.
+
+The default spec is the *identity configuration*: every chunk is placed
+in the local tier after the record phase, the local tier is unbounded,
+and no remote fetch is ever staged — a run with this spec produces the
+exact same restore timings as one with no snapstore at all (the
+flat-file baseline), which the identity test pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.units import MIB, USEC
+
+#: Placement policies applied once, after the record phase:
+#:
+#: * ``local`` — every chunk of every manifest starts in the local tier
+#:   (identity configuration; nothing is ever staged).
+#: * ``remote`` — nothing is local; every first access stages its chunk
+#:   from the remote object store (worst-case cold tier).
+#: * ``base-local`` — only chunks referenced by two or more distinct
+#:   snapshots (the deduplicated base-image chunks, hot everywhere)
+#:   start local; per-snapshot private chunks stay remote.  This is what
+#:   a freshly booted node pre-places.
+PLACEMENTS = ("local", "remote", "base-local")
+
+
+@dataclass(frozen=True)
+class SnapStoreSpec:
+    """Everything that determines the snapstore's behavior in a run."""
+
+    #: Pages per content-addressed chunk (default 64 pages = 256 KiB,
+    #: two readahead windows).
+    chunk_pages: int = 64
+    #: Initial chunk placement after the record phase (see PLACEMENTS).
+    placement: str = "local"
+    #: Insert a local spindle-HDD tier between the local (SSD) tier and
+    #: the remote store: chunks demoted from the local tier land there
+    #: and are re-staged from it instead of the network.
+    hdd_tier: bool = False
+    #: Local-tier capacity; ``None`` is unbounded.  When set, staging a
+    #: chunk past the cap demotes the least-recently-used single-owner
+    #: chunks first (shared base chunks are evicted last).
+    local_capacity_bytes: int | None = None
+    #: Remote object store round-trip time (network + request handling).
+    remote_latency: float = 600 * USEC
+    #: Remote fetch bandwidth (the node NIC, ~10 GbE).
+    remote_bandwidth: float = 1250 * MIB
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.chunk_pages, int) or self.chunk_pages < 1:
+            raise ValueError(
+                f"chunk_pages must be a positive int, got {self.chunk_pages!r}")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; choose from "
+                f"{', '.join(PLACEMENTS)}")
+        if self.local_capacity_bytes is not None:
+            if (not isinstance(self.local_capacity_bytes, int)
+                    or self.local_capacity_bytes <= 0):
+                raise ValueError(
+                    f"local_capacity_bytes must be a positive int or None, "
+                    f"got {self.local_capacity_bytes!r}")
+        if self.remote_latency < 0:
+            raise ValueError("remote_latency must be >= 0")
+        if self.remote_bandwidth <= 0:
+            raise ValueError("remote_bandwidth must be positive")
+
+    def canonical(self) -> dict:
+        """JSON-serializable dict with every outcome-determining field."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SnapStoreSpec":
+        return cls(**data)

@@ -17,6 +17,7 @@ from repro.storage.device import (
 )
 from repro.storage.filestore import File, FileStore, TornPageError
 from repro.storage.hdd import HDDevice
+from repro.storage.remote import RemoteObjectStore
 from repro.storage.ssd import SSDevice
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "HDDevice",
     "IOError_",
     "IORequest",
+    "RemoteObjectStore",
     "SSDevice",
     "TornPageError",
 ]

@@ -102,6 +102,11 @@ class FileStore:
         #: reads consult ``fault_injector.on_read`` and may surface a
         #: :class:`TornPageError` even though the device read succeeded.
         self.fault_injector = None
+        #: Tiered snapshot store hook (see repro.snapstore).  When set,
+        #: a read of a recorded snapshot file first stages any chunks
+        #: not resident in the local tier; reads whose chunks are all
+        #: local take the unmodified flat-file path below.
+        self.snapstore = None
 
     # -- namespace ------------------------------------------------------------
     def create(self, name: str, size_bytes: int) -> File:
@@ -157,6 +162,16 @@ class FileStore:
             raise IndexError(
                 f"pages [{start_page}, {start_page + npages}) out of range "
                 f"for {file.name!r} ({file.size_pages} pages)")
+        if op == READ and self.snapstore is not None:
+            plan = self.snapstore.plan_read(file, start_page, npages)
+            if plan:
+                return self.env.process(
+                    self._staged_read(file, start_page, npages, prio, plan),
+                    name=f"staged-read-{file.name}-{start_page}")
+        return self._device_io(file, start_page, npages, op, prio)
+
+    def _device_io(self, file: File, start_page: int, npages: int, op: str,
+                   prio: int = 0) -> Event:
         offset = file.device_offset + start_page * PAGE_SIZE
         completion = self.device.submit(
             IORequest(offset, npages * PAGE_SIZE, op, prio=prio))
@@ -167,6 +182,16 @@ class FileStore:
                     self._torn_read(completion, error),
                     name=f"torn-read-{file.name}-{start_page}")
         return completion
+
+    def _staged_read(self, file: File, start_page: int, npages: int,
+                     prio: int, plan):
+        # Stage the cold chunks into the local tier (charging the source
+        # tier's device/network model), then perform the ordinary local
+        # read.  Staging failures propagate to the caller like any other
+        # read error, feeding the page cache's retry ladder.
+        yield from self.snapstore.stage(plan, prio)
+        result = yield self._device_io(file, start_page, npages, READ, prio)
+        return result
 
     def _torn_read(self, completion: Event, error: TornPageError):
         # A device-level failure propagates as-is (yield re-raises it);

@@ -1,0 +1,50 @@
+"""Remote object store modeled as a block device: RTT + NIC bandwidth.
+
+The snapstore's coldest tier is a disaggregated object store (S3-style)
+reached over the datacenter network.  In the two-stage device model the
+serialized controller stage is the node's NIC — transfers share its
+bandwidth — and the parallel media stage is one network round trip per
+request, paid concurrently by every in-flight fetch (the store itself is
+assumed wide enough never to be the bottleneck).
+
+Defaults model a 10 GbE NIC and an intra-datacenter RTT of ~600 µs
+including the object store's request-processing time, which puts one
+256 KiB chunk fetch at ~0.8 ms — two orders of magnitude above the local
+SSD's media latency, which is precisely the gap that makes snapshot
+locality (and tier placement) worth routing for.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Environment
+from repro.storage.device import BlockDevice, IORequest
+from repro.units import GIB, MIB, USEC
+
+
+class RemoteObjectStore(BlockDevice):
+    """Disaggregated object store behind a NIC-bandwidth bottleneck."""
+
+    def __init__(self, env: Environment,
+                 capacity_bytes: int = 64 * 1024 * GIB,
+                 queue_depth: int = 64,
+                 rtt: float = 600 * USEC,
+                 bandwidth: float = 1250 * MIB,
+                 name: str = "remote0",
+                 registry=None):
+        super().__init__(env, capacity_bytes, queue_depth=queue_depth,
+                         name=name, registry=registry)
+        if rtt < 0:
+            raise ValueError("rtt must be >= 0")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.rtt = rtt
+        self.bandwidth = bandwidth
+
+    def controller_time(self, request: IORequest) -> float:
+        # The NIC serializes payload bytes regardless of direction.
+        return request.nbytes / self.bandwidth
+
+    def media_time(self, request: IORequest, sequential: bool) -> float:
+        # One network round trip per request; the remote store has no
+        # notion of head position, so sequentiality buys nothing.
+        return self.rtt

@@ -77,4 +77,9 @@ def build_snapshot(kernel, profile: FunctionProfile,
     if zero_free_pages:
         for page in meta.iter_free_gfns():
             file.set_content(page, ZERO_PAGE)
+    snapstore = getattr(kernel, "snapstore", None)
+    if snapstore is not None:
+        # Chunk the snapshot into the tiered store; restores will then
+        # resolve reads through the manifest and stage cold chunks.
+        snapstore.record(file, profile, guest_zeroed=zero_free_pages)
     return FunctionSnapshot(name=profile.name, file=file, meta=meta)

@@ -157,6 +157,24 @@ def test_node_crash_rate_keeps_single_node_fingerprints(profile):
     assert "node_crashes" not in base.fault_stats
 
 
+def test_remote_fetch_rate_keeps_storeless_fingerprints(profile):
+    """Chaos runs without a snapstore never draw from the remote-fetch
+    stream, so a config that only adds remote-fetch rates replays the
+    exact same fingerprint — pre-snapstore chaos baselines stay
+    byte-identical."""
+    import dataclasses
+
+    base = run_chaos_scenario(profile, "snapbpf", config=HOT,
+                              fault_seed=5, n_requests=3)
+    with_rate = run_chaos_scenario(
+        profile, "snapbpf",
+        config=dataclasses.replace(HOT, remote_fetch_error_rate=0.5,
+                                   remote_fetch_stall_rate=0.5),
+        fault_seed=5, n_requests=3)
+    assert base.fingerprint() == with_rate.fingerprint()
+    assert "remote_fetch_errors" not in base.fault_stats
+
+
 def test_supervised_suite_recovers_from_worker_kills(profile):
     """Chaos cells killed by the runner-level injector are retried and
     reproduce the serial, unfaulted fingerprints."""

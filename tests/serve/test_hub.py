@@ -106,6 +106,21 @@ class TestSnapshotBus:
         assert hub.state()["fleet"]["counts"] == {"up": 1}
         assert calls
 
+    def test_snapstore_provider_feeds_the_tiering_section(self):
+        hub = TelemetryHub(wall_interval=0.0)
+        assert hub.state()["snapstore"] == {}
+
+        def provider():
+            return {"placement": "base-local", "dedup_factor": 3.2,
+                    "local_bytes": 1024.0, "hdd_bytes": 0.0,
+                    "remote_bytes": 4096.0, "nodes": []}
+
+        hub.attach_snapstore_provider(provider)
+        hub.flush()
+        snapstore = hub.state()["snapstore"]
+        assert snapstore["dedup_factor"] == 3.2
+        assert snapstore["placement"] == "base-local"
+
     def test_wait_for_newer_wakes_on_publish(self):
         hub = TelemetryHub(wall_interval=0.0)
         got = []

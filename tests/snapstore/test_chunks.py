@@ -1,0 +1,186 @@
+"""Chunking, manifests, and the refcounted registry's GC invariants."""
+
+import pytest
+
+from repro.snapstore import (
+    ChunkRegistry,
+    build_derived_manifest,
+    build_manifest,
+    private_extent,
+    runtime_id,
+)
+from repro.units import MIB, PAGE_SIZE
+from repro.workloads.profile import FunctionProfile
+
+CHUNK_PAGES = 16
+
+
+def make_profile(name="alpha", seed=7, **overrides):
+    fields = dict(name=name, mem_bytes=8 * MIB, ws_bytes=2 * MIB,
+                  alloc_bytes=1 * MIB, compute_seconds=0.01,
+                  run_len_mean=8.0, seed=seed)
+    fields.update(overrides)
+    return FunctionProfile(**fields)
+
+
+def register(registry, manifest):
+    for index, cid in enumerate(manifest.cids):
+        registry.add_ref(cid, manifest.chunk_nbytes(index),
+                         owner=manifest.name)
+
+
+class TestIdentity:
+    def test_runtime_id_ignores_name_and_seed(self):
+        base = make_profile()
+        clone = make_profile(name="alpha-3", seed=99)
+        other = make_profile(mem_bytes=16 * MIB)
+        assert runtime_id(base) == runtime_id(clone)
+        assert runtime_id(base) != runtime_id(other)
+
+    def test_private_extent_is_deterministic_and_in_bounds(self):
+        profile = make_profile()
+        start, end = private_extent(profile)
+        assert (start, end) == private_extent(make_profile())
+        assert 0 <= start < end <= profile.mem_pages
+        assert end - start == profile.ws_pages
+
+    def test_rerecord_reproduces_chunk_ids_exactly(self):
+        a = build_manifest(1, "alpha", make_profile(), CHUNK_PAGES)
+        b = build_manifest(2, "alpha", make_profile(), CHUNK_PAGES)
+        assert a.cids == b.cids
+        assert a.ino != b.ino
+
+    def test_clones_share_base_chunks_but_not_private_ones(self):
+        a = build_manifest(1, "alpha", make_profile("alpha"), CHUNK_PAGES)
+        b = build_manifest(2, "beta", make_profile("beta"), CHUNK_PAGES)
+        shared = set(a.cids) & set(b.cids)
+        assert shared  # the runtime base image dedups
+        assert set(a.cids) != set(b.cids)  # private extents differ
+
+    def test_guest_zeroed_changes_free_span_chunks_only(self):
+        plain = build_manifest(1, "alpha", make_profile(), CHUNK_PAGES)
+        zeroed = build_manifest(2, "alpha", make_profile(), CHUNK_PAGES,
+                                guest_zeroed=True)
+        assert plain.cids != zeroed.cids
+        assert len(plain.cids) == len(zeroed.cids)
+
+
+class TestManifest:
+    def test_covering_chunks(self):
+        manifest = build_manifest(1, "alpha", make_profile(), CHUNK_PAGES)
+        assert list(manifest.covering_chunks(0, 1)) == [0]
+        assert list(manifest.covering_chunks(0, CHUNK_PAGES + 1)) == [0, 1]
+        assert list(manifest.covering_chunks(CHUNK_PAGES, 1)) == [1]
+        last = len(manifest.cids) - 1
+        assert list(manifest.covering_chunks(
+            manifest.size_pages - 1, 1)) == [last]
+
+    def test_covering_chunks_bounds(self):
+        manifest = build_manifest(1, "alpha", make_profile(), CHUNK_PAGES)
+        with pytest.raises(ValueError):
+            manifest.covering_chunks(0, 0)
+        with pytest.raises(IndexError):
+            manifest.covering_chunks(manifest.size_pages, 1)
+        with pytest.raises(IndexError):
+            manifest.covering_chunks(-1, 2)
+
+    def test_partial_last_chunk_nbytes(self):
+        size = 5 * PAGE_SIZE  # not a multiple of 4-page chunks
+        manifest = build_derived_manifest(1, "alpha.ws", size, 4)
+        assert len(manifest.cids) == 2
+        assert manifest.chunk_nbytes(0) == 4 * PAGE_SIZE
+        assert manifest.chunk_nbytes(1) == PAGE_SIZE
+        with pytest.raises(IndexError):
+            manifest.chunk_nbytes(2)
+
+    def test_derived_manifests_do_not_collide_across_names(self):
+        a = build_derived_manifest(1, "alpha.ws", 4 * PAGE_SIZE, 4)
+        b = build_derived_manifest(2, "beta.ws", 4 * PAGE_SIZE, 4)
+        again = build_derived_manifest(3, "alpha.ws", 4 * PAGE_SIZE, 4)
+        assert a.cids != b.cids
+        assert a.cids == again.cids
+
+
+class TestRegistryGC:
+    def test_rerecord_identical_snapshot_allocates_zero_new_chunks(self):
+        registry = ChunkRegistry()
+        first = build_manifest(1, "alpha", make_profile(), CHUNK_PAGES)
+        register(registry, first)
+        unique_before = len(registry)
+        bytes_before = registry.unique_bytes
+        # The same snapshot recorded again (another node, same clone).
+        register(registry, build_manifest(2, "alpha", make_profile(),
+                                          CHUNK_PAGES))
+        assert len(registry) == unique_before
+        assert registry.unique_bytes == bytes_before
+        assert registry.dedup_hits == len(first.cids)
+        assert registry.logical_bytes == 2 * first.logical_bytes
+
+    def test_gc_never_frees_a_live_referenced_chunk(self):
+        registry = ChunkRegistry()
+        alpha = build_manifest(1, "alpha", make_profile("alpha"),
+                               CHUNK_PAGES)
+        beta = build_manifest(2, "beta", make_profile("beta"), CHUNK_PAGES)
+        register(registry, alpha)
+        register(registry, beta)
+        shared = set(alpha.cids) & set(beta.cids)
+        assert shared
+
+        for cid in alpha.cids:
+            registry.release(cid, owner="alpha")
+        # Every chunk beta references must survive alpha's deletion.
+        for cid in beta.cids:
+            assert cid in registry
+        # Only alpha's private chunks were reclaimed.
+        assert registry.gc_reclaimed_bytes > 0
+        assert registry.logical_bytes == beta.logical_bytes
+
+        for cid in beta.cids:
+            registry.release(cid, owner="beta")
+        assert len(registry) == 0
+        assert registry.unique_bytes == 0
+        assert registry.logical_bytes == 0
+
+    def test_same_name_refcounts_before_freeing(self):
+        registry = ChunkRegistry()
+        manifest = build_manifest(1, "alpha", make_profile(), CHUNK_PAGES)
+        register(registry, manifest)
+        register(registry, build_manifest(2, "alpha", make_profile(),
+                                          CHUNK_PAGES))
+        cid = manifest.cids[0]
+        assert registry.get(cid).refs == 2
+        assert not registry.get(cid).shared  # one distinct name
+        assert registry.release(cid, owner="alpha") is False
+        assert registry.release(cid, owner="alpha") is True
+
+    def test_over_release_raises(self):
+        registry = ChunkRegistry()
+        manifest = build_manifest(1, "alpha", make_profile(), CHUNK_PAGES)
+        register(registry, manifest)
+        cid = manifest.cids[0]
+        with pytest.raises(KeyError):
+            registry.release(cid, owner="ghost")
+        registry.release(cid, owner="alpha")
+        with pytest.raises(KeyError):
+            registry.release(cid, owner="alpha")
+
+    def test_dedup_factor(self):
+        registry = ChunkRegistry()
+        assert registry.dedup_factor == 1.0
+        register(registry, build_manifest(1, "alpha", make_profile(),
+                                          CHUNK_PAGES))
+        assert registry.dedup_factor == 1.0
+        register(registry, build_manifest(2, "alpha", make_profile(),
+                                          CHUNK_PAGES))
+        assert registry.dedup_factor == 2.0
+
+    def test_empty_registry_is_falsy_but_usable(self):
+        # SnapStore must accept a shared-but-empty registry; the `or`
+        # idiom would silently replace it (regression guard).
+        registry = ChunkRegistry()
+        assert len(registry) == 0
+        assert not registry
+        from repro.sim import Environment
+        from repro.snapstore import SnapStore, SnapStoreSpec
+        store = SnapStore(Environment(), SnapStoreSpec(), chunks=registry)
+        assert store.chunks is registry

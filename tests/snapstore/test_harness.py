@@ -1,0 +1,142 @@
+"""Snapstore through the harness: identity, spec schema, determinism.
+
+The acceptance contract: the default (all-local, unbounded) placement
+is *byte-identical* to flat snapshot files — same events, same RNG
+stream, same results — while colder placements must cost measurably
+more, and every snapstore cell must round-trip exactly through the
+content-addressed result store at any job count.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.harness.experiment import ResultCache, run_scenario
+from repro.harness.spec import SCHEMA_VERSION, ScenarioSpec
+from repro.harness.sweep import ResultStore, SweepRunner
+from repro.metrics.results import ScenarioResult
+from repro.snapstore import SnapStoreSpec
+from repro.units import MIB
+from repro.workloads.profile import FunctionProfile
+
+
+def tiny_profile(name="tiny", seed=31):
+    return FunctionProfile(name=name, mem_bytes=48 * MIB, ws_bytes=4 * MIB,
+                           alloc_bytes=2 * MIB, compute_seconds=0.02,
+                           run_len_mean=8.0, seed=seed)
+
+
+def spec_with(snapstore, approach="snapbpf", **overrides):
+    return ScenarioSpec(function=tiny_profile(), approach=approach,
+                        n_instances=2, snapstore=snapstore, **overrides)
+
+
+TINY_CLUSTER = dict(n_functions=2, rate_per_function=2.0,
+                    duration=1.5, warm_pool_ttl=1.0)
+
+
+def cluster_spec_with(snapstore, policy="snapshot-locality"):
+    return ScenarioSpec(function=tiny_profile(), approach="snapbpf",
+                        snapstore=snapstore,
+                        cluster=ClusterSpec(policy=policy, n_nodes=2,
+                                            **TINY_CLUSTER))
+
+
+class TestSpecSchema:
+    def test_schema_is_v5(self):
+        assert SCHEMA_VERSION == 5
+
+    def test_snapstore_spec_round_trips(self):
+        spec = SnapStoreSpec(chunk_pages=32, placement="base-local",
+                             hdd_tier=True,
+                             local_capacity_bytes=64 * MIB)
+        assert SnapStoreSpec.from_dict(spec.canonical()) == spec
+
+    def test_scenario_spec_round_trips_with_snapstore(self):
+        spec = spec_with(SnapStoreSpec(placement="remote"))
+        clone = ScenarioSpec.from_dict(spec.canonical())
+        assert clone == spec
+        assert clone.stable_hash() == spec.stable_hash()
+        assert clone.snapstore == spec.snapstore
+
+    def test_snapstore_changes_the_cache_key(self):
+        flat = spec_with(None)
+        local = spec_with(SnapStoreSpec())
+        remote = spec_with(SnapStoreSpec(placement="remote"))
+        assert len({flat.stable_hash(), local.stable_hash(),
+                    remote.stable_hash()}) == 3
+
+    def test_invalid_placement_rejected(self):
+        with pytest.raises(ValueError):
+            SnapStoreSpec(placement="tape")
+        with pytest.raises(ValueError):
+            SnapStoreSpec(chunk_pages=0)
+
+
+class TestIdentityAndOrdering:
+    def test_local_placement_is_byte_identical_to_flat_files(self):
+        flat = run_scenario(spec_with(None))
+        local = run_scenario(spec_with(SnapStoreSpec()))
+        assert local.mean_e2e == flat.mean_e2e  # exact, not approx
+        assert local.invocations == flat.invocations
+        stripped = {k: v for k, v in local.extra.items()
+                    if not k.startswith("snapstore_")}
+        assert stripped == flat.extra
+        assert local.extra["snapstore_dedup_factor"] >= 1.0
+
+    def test_remote_placement_raises_cold_start_cost(self):
+        # linux-ra is pure demand paging — every fault chain now pays
+        # remote staging, so the ordering is unambiguous even at tiny
+        # scale (batch-prefetch approaches can mask it: their staged
+        # fetches coalesce into large sequential remote reads).
+        flat = run_scenario(spec_with(None, approach="linux-ra"))
+        remote = run_scenario(spec_with(SnapStoreSpec(placement="remote"),
+                                        approach="linux-ra"))
+        assert remote.mean_e2e > flat.mean_e2e
+        assert remote.extra["snapstore_remote_fetches"] > 0
+        assert remote.extra["snapstore_remote_fetch_bytes"] > 0
+
+    def test_cluster_local_matches_flat_exactly(self):
+        flat = run_scenario(cluster_spec_with(None))
+        local = run_scenario(cluster_spec_with(SnapStoreSpec()))
+        stripped = {k: v for k, v in local.extra.items()
+                    if not k.startswith("snapstore_")}
+        assert stripped == flat.extra
+
+    def test_cluster_dedup_spans_nodes(self):
+        result = run_scenario(cluster_spec_with(SnapStoreSpec()))
+        # Two clones x two nodes sharing one registry: dedup > 1.
+        assert result.extra["snapstore_dedup_factor"] > 1.0
+        assert result.extra["snapstore_unique_bytes"] < result.extra[
+            "snapstore_logical_bytes"]
+
+
+class TestStoreRoundTrip:
+    def test_extras_round_trip_exactly_through_the_store(self, tmp_path):
+        spec = cluster_spec_with(
+            SnapStoreSpec(placement="base-local", hdd_tier=True,
+                          local_capacity_bytes=32 * MIB))
+        cold = SweepRunner(ResultCache(store=ResultStore(tmp_path)))
+        first = cold.run([spec])[spec]
+        assert first.extra["snapstore_dedup_factor"] > 1.0
+
+        warm = SweepRunner(ResultCache(store=ResultStore(tmp_path)))
+        second = warm.run([spec])[spec]
+        assert warm.last_stats.executed == 0
+        assert warm.last_stats.disk_hits == 1
+        assert second == first
+        assert second.to_json() == first.to_json()
+        clone = ScenarioResult.from_json(first.to_json())
+        assert clone.extra == first.extra
+
+    def test_tier_state_is_deterministic_across_job_counts(self, tmp_path):
+        specs = [cluster_spec_with(
+                     SnapStoreSpec(placement="base-local", hdd_tier=True,
+                                   local_capacity_bytes=32 * MIB),
+                     policy=policy)
+                 for policy in ("random", "snapshot-locality")]
+        serial = SweepRunner(ResultCache(store=ResultStore(tmp_path / "s")),
+                             jobs=1).run(specs)
+        parallel = SweepRunner(ResultCache(store=ResultStore(tmp_path / "p")),
+                               jobs=2).run(specs)
+        for spec in specs:
+            assert serial[spec].to_json() == parallel[spec].to_json()
